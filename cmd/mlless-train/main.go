@@ -1,0 +1,159 @@
+// Command mlless-train runs one MLLess training job on the simulated
+// cloud and reports progress, convergence and the itemized bill.
+//
+// Usage:
+//
+//	mlless-train -model pmf -dataset ml10m -workers 24 -sync isp -v 0.7 -autotune
+//	mlless-train -model lr -dataset criteo -workers 12 -target 0.58
+//	mlless-train -model pmf -dataset ml10m -system pytorch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlless"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlless-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelName = flag.String("model", "pmf", "model: lr | pmf")
+		data      = flag.String("dataset", "ml10m", "dataset: criteo | ml1m | ml10m | ml20m")
+		system    = flag.String("system", "mlless", "system: mlless | pytorch | pywren")
+		workers   = flag.Int("workers", 12, "initial worker count P")
+		batch     = flag.Int("batch", 625, "per-worker mini-batch size B")
+		sync      = flag.String("sync", "bsp", "synchronization: bsp | isp")
+		sig       = flag.Float64("v", 0.7, "ISP significance threshold v")
+		autotune  = flag.Bool("autotune", false, "enable the scale-in auto-tuner")
+		staleness = flag.Int("staleness", 1, "SSP staleness bound (1 = per-step sync)")
+		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
+		maxSteps  = flag.Int("max-steps", 500, "step cap")
+		lr        = flag.Float64("lr", 0, "learning rate (0 = model default)")
+		seed      = flag.Uint64("seed", 1, "dataset seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-step progress")
+		jsonOut   = flag.String("json", "", "write the full result (trace, evictions, bill) as JSON to this file")
+	)
+	flag.Parse()
+
+	cluster := mlless.NewCluster()
+	job, err := buildJob(cluster, *modelName, *data, *batch, *lr, *seed)
+	if err != nil {
+		return err
+	}
+	job.Spec.Workers = *workers
+	job.Spec.TargetLoss = *target
+	job.Spec.MaxSteps = *maxSteps
+	job.Spec.AutoTune = *autotune
+	job.Spec.Staleness = *staleness
+	switch *sync {
+	case "bsp":
+		job.Spec.Sync = mlless.BSP
+	case "isp":
+		job.Spec.Sync = mlless.ISP
+		job.Spec.Significance = *sig
+	default:
+		return fmt.Errorf("unknown sync model %q", *sync)
+	}
+
+	fmt.Printf("training %s on %s: P=%d B=%d sync=%s autotune=%v system=%s\n",
+		*modelName, *data, *workers, *batch, job.Spec.Sync, *autotune, *system)
+
+	var res *mlless.Result
+	switch *system {
+	case "mlless":
+		res, err = mlless.Train(cluster, job)
+	case "pytorch":
+		res, err = mlless.TrainServerful(cluster, job, mlless.DefaultServerfulConfig())
+	case "pywren":
+		res, err = mlless.TrainPyWren(cluster, job, mlless.DefaultPyWrenConfig())
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		for i, p := range res.History {
+			if i%25 == 0 || i == len(res.History)-1 {
+				fmt.Printf("  step %4d  t=%-12v loss=%.4f workers=%d\n",
+					p.Step, p.Time.Round(time.Millisecond), p.Loss, p.Workers)
+			}
+		}
+	}
+	for _, r := range res.Removals {
+		fmt.Printf("  auto-tuner evicted worker %d after step %d (pool -> %d)\n", r.Worker, r.Step, r.WorkersLeft)
+	}
+	fmt.Printf("done: converged=%v steps=%d exec=%v final-loss=%.4f relaunches=%d\n",
+		res.Converged, res.Steps, res.ExecTime.Round(time.Millisecond), res.FinalLoss, res.Relaunches)
+	fmt.Println("bill:")
+	fmt.Print(res.Cost)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("result written to", *jsonOut)
+	}
+	return nil
+}
+
+func buildJob(cluster *mlless.Cluster, modelName, data string, batch int, lr float64, seed uint64) (mlless.Job, error) {
+	switch {
+	case modelName == "lr" && data == "criteo":
+		cfg := mlless.DefaultCriteoConfig()
+		cfg.Seed = seed
+		ds := mlless.GenerateCriteo(cfg)
+		n := mlless.StageDataset(cluster, ds, "criteo", batch, seed)
+		if err := mlless.NormalizeDataset(cluster, "criteo", n, cfg.NumericFeatures); err != nil {
+			return mlless.Job{}, err
+		}
+		if lr == 0 {
+			lr = 0.01
+		}
+		return mlless.Job{
+			Model:     mlless.NewLogReg(ds.FeatureDim, 1e-4),
+			Optimizer: mlless.NewAdam(mlless.Constant(lr)),
+			Bucket:    "criteo", NumBatches: n, BatchSize: batch,
+		}, nil
+	case modelName == "pmf":
+		var cfg mlless.MovieLensConfig
+		switch data {
+		case "ml1m":
+			cfg = mlless.MovieLensConfig{Users: 1200, Items: 2400, Ratings: 120_000, Rank: 20, NoiseStd: 0.7, SignalStd: 0.8}
+		case "ml10m":
+			cfg = mlless.MovieLens10MScale()
+		case "ml20m":
+			cfg = mlless.MovieLens20MScale()
+		default:
+			return mlless.Job{}, fmt.Errorf("pmf needs dataset ml1m|ml10m|ml20m, got %q", data)
+		}
+		cfg.Seed = seed
+		ds := mlless.GenerateMovieLens(cfg)
+		n := mlless.StageDataset(cluster, ds, "ml", batch, seed)
+		if lr == 0 {
+			lr = 20
+		}
+		return mlless.Job{
+			Model:     mlless.NewPMF(cfg.Users, cfg.Items, cfg.Rank, ds.RatingMean, 0.02, seed),
+			Optimizer: mlless.NewNesterov(mlless.Constant(lr), 0.9),
+			Bucket:    "ml", NumBatches: n, BatchSize: batch,
+		}, nil
+	default:
+		return mlless.Job{}, fmt.Errorf("unsupported model/dataset pair %s/%s", modelName, data)
+	}
+}

@@ -1,0 +1,3 @@
+module mlless
+
+go 1.22

@@ -1,0 +1,70 @@
+// Package allreduce models the collective-communication primitives of
+// the serverful baseline. The paper's PyTorch setup uses Gloo's ring
+// all-reduce ("rule of thumb for CPU training", §6.1) across VM workers;
+// FaaS platforms cannot run these optimal HPC topologies at all because
+// functions cannot open connections to each other (§2) — which is
+// exactly why MLLess pays the indirect-communication tax instead.
+//
+// Besides the timing models, the package implements the actual dense
+// reduction so baseline training produces real, bit-deterministic math.
+package allreduce
+
+import (
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/sparse"
+)
+
+// RingTime returns the wall-clock of a bandwidth-optimal ring all-reduce
+// of n bytes across p participants over link: 2(p−1) phases, each moving
+// an n/p chunk between ring neighbours concurrently.
+func RingTime(link netmodel.Link, p, n int) time.Duration {
+	if p <= 1 || n <= 0 {
+		return 0
+	}
+	chunk := (n + p - 1) / p
+	return time.Duration(2*(p-1)) * link.TransferTime(chunk)
+}
+
+// NaiveTime returns the wall-clock of a gather-then-broadcast all-reduce
+// through a root: the root serially receives p−1 full-size buffers and
+// then serially sends p−1 back. It is the strawman RingTime beats; the
+// ablation bench compares both.
+func NaiveTime(link netmodel.Link, p, n int) time.Duration {
+	if p <= 1 || n <= 0 {
+		return 0
+	}
+	return time.Duration(2*(p-1)) * link.TransferTime(n)
+}
+
+// MeanDense overwrites dst with the element-wise mean of the gradient
+// buffers (dst must be one of them or equal length). This is the real
+// math an all-reduce-with-average performs in data-parallel SGD.
+func MeanDense(dst sparse.Dense, buffers []sparse.Dense) {
+	if len(buffers) == 0 {
+		return
+	}
+	inv := 1 / float64(len(buffers))
+	for i := range dst {
+		sum := 0.0
+		for _, b := range buffers {
+			sum += b[i]
+		}
+		dst[i] = sum * inv
+	}
+}
+
+// MeanSparse returns the mean of sparse gradients as a sparse vector,
+// the aggregation the PyWren reducer performs.
+func MeanSparse(gradients []*sparse.Vector) *sparse.Vector {
+	out := sparse.New()
+	if len(gradients) == 0 {
+		return out
+	}
+	for _, g := range gradients {
+		out.AddVector(g)
+	}
+	out.Scale(1 / float64(len(gradients)))
+	return out
+}

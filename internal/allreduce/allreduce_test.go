@@ -1,0 +1,94 @@
+package allreduce
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/sparse"
+)
+
+func TestRingTimeDegenerate(t *testing.T) {
+	link := netmodel.VMPeerLink()
+	if RingTime(link, 1, 1<<20) != 0 {
+		t.Fatal("single participant must be free")
+	}
+	if RingTime(link, 8, 0) != 0 {
+		t.Fatal("zero bytes must be free")
+	}
+}
+
+func TestRingBeatsNaive(t *testing.T) {
+	link := netmodel.VMPeerLink()
+	for _, p := range []int{2, 4, 8, 24} {
+		ring := RingTime(link, p, 10<<20)
+		naive := NaiveTime(link, p, 10<<20)
+		if ring >= naive {
+			t.Fatalf("p=%d: ring %v not faster than naive %v", p, ring, naive)
+		}
+	}
+}
+
+func TestRingBandwidthTermNearlyConstantInP(t *testing.T) {
+	// Ring all-reduce moves 2n(p−1)/p bytes per node: the bandwidth term
+	// approaches 2n/bw as p grows. With negligible latency, doubling p
+	// must not meaningfully change the time.
+	link := netmodel.Link{BandwidthBps: 125e6}
+	t8 := RingTime(link, 8, 100<<20)
+	t16 := RingTime(link, 16, 100<<20)
+	ratio := t16.Seconds() / t8.Seconds()
+	if ratio > 1.15 {
+		t.Fatalf("ring time grew %vx from p=8 to p=16", ratio)
+	}
+}
+
+func TestRingLatencyTermLinearInP(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond}
+	t4 := RingTime(link, 4, 1)
+	t8 := RingTime(link, 8, 1)
+	if t4 != 6*time.Millisecond || t8 != 14*time.Millisecond {
+		t.Fatalf("latency phases: p=4 %v, p=8 %v", t4, t8)
+	}
+}
+
+func TestMeanDense(t *testing.T) {
+	a := sparse.Dense{1, 2, 3}
+	b := sparse.Dense{3, 2, 1}
+	dst := make(sparse.Dense, 3)
+	MeanDense(dst, []sparse.Dense{a, b})
+	want := sparse.Dense{2, 2, 2}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("MeanDense = %v", dst)
+		}
+	}
+	MeanDense(dst, nil) // must not panic or change dst
+	if dst[0] != 2 {
+		t.Fatal("empty reduce changed dst")
+	}
+}
+
+func TestMeanDenseInPlace(t *testing.T) {
+	a := sparse.Dense{4, 0}
+	b := sparse.Dense{0, 4}
+	MeanDense(a, []sparse.Dense{a, b})
+	if a[0] != 2 || a[1] != 2 {
+		t.Fatalf("in-place MeanDense = %v", a)
+	}
+}
+
+func TestMeanSparse(t *testing.T) {
+	a := sparse.New()
+	a.Set(0, 2)
+	b := sparse.New()
+	b.Set(0, 4)
+	b.Set(5, 2)
+	m := MeanSparse([]*sparse.Vector{a, b})
+	if m.Get(0) != 3 || m.Get(5) != 1 {
+		t.Fatalf("MeanSparse = %v", m)
+	}
+	if MeanSparse(nil).Len() != 0 {
+		t.Fatal("empty MeanSparse non-empty")
+	}
+}

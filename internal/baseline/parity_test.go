@@ -1,0 +1,130 @@
+// Package baseline holds the cross-system sanity check of §6.1: with a
+// fixed seed and a single worker, the per-step convergence of MLLess,
+// the serverful (PyTorch-like) trainer and the PyWren-like trainer must
+// be exactly identical — "no technical advantage of one system over the
+// other due to subtle model artifacts".
+package baseline
+
+import (
+	"testing"
+
+	"mlless/internal/baseline/pywren"
+	"mlless/internal/baseline/serverful"
+	"mlless/internal/core"
+	"mlless/internal/dataset"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/vclock"
+)
+
+// stage prepares one cluster + job pair per system over identical data.
+func stageJob(t *testing.T, pmf bool) (*core.Cluster, core.Job) {
+	t.Helper()
+	cl := core.NewCluster()
+	var clk vclock.Clock
+	var job core.Job
+	if pmf {
+		cfg := dataset.MovieLensConfig{Users: 100, Items: 400, Ratings: 15000, Rank: 6, NoiseStd: 0.6, Seed: 41}
+		ds := dataset.GenerateMovieLens(cfg)
+		n := dataset.Stage(ds, cl.COS, &clk, "data", 300, 13)
+		job = core.Job{
+			Spec:       core.Spec{Workers: 1, MaxSteps: 40},
+			Model:      model.NewPMF(cfg.Users, cfg.Items, cfg.Rank, ds.RatingMean, 0.02, 43),
+			Optimizer:  optimizer.NewNesterov(optimizer.Constant(1.0), 0.9),
+			Bucket:     "data",
+			NumBatches: n,
+			BatchSize:  300,
+		}
+	} else {
+		cfg := dataset.CriteoConfig{
+			Samples: 3000, NumericFeatures: 5, CategoricalFeatures: 8,
+			HashDim: 1000, Cardinality: 100, Separation: 1.6, Seed: 47,
+		}
+		ds := dataset.GenerateCriteo(cfg)
+		n := dataset.Stage(ds, cl.COS, &clk, "data", 300, 13)
+		job = core.Job{
+			Spec:       core.Spec{Workers: 1, MaxSteps: 40},
+			Model:      model.NewLogReg(cfg.HashDim+cfg.NumericFeatures, 0),
+			Optimizer:  optimizer.NewAdamDefaults(optimizer.Constant(0.05)),
+			Bucket:     "data",
+			NumBatches: n,
+			BatchSize:  300,
+		}
+	}
+	return cl, job
+}
+
+func rawLosses(res *core.Result) []float64 {
+	out := make([]float64, len(res.History))
+	for i, p := range res.History {
+		out[i] = p.RawLoss
+	}
+	return out
+}
+
+func TestSanityCheckParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pmf  bool
+	}{
+		{"LR", false},
+		{"PMF", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clA, jobA := stageJob(t, tc.pmf)
+			mlless, err := core.Run(clA, jobA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clB, jobB := stageJob(t, tc.pmf)
+			pt, err := serverful.Train(clB.COS, jobB, serverful.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			clC, jobC := stageJob(t, tc.pmf)
+			pw, err := pywren.Train(clC.Platform, clC.COS, jobC, pywren.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a, b, c := rawLosses(mlless), rawLosses(pt), rawLosses(pw)
+			if len(a) != len(b) || len(a) != len(c) {
+				t.Fatalf("step counts differ: mlless=%d pytorch=%d pywren=%d", len(a), len(b), len(c))
+			}
+			for i := range a {
+				if a[i] != b[i] || a[i] != c[i] {
+					t.Fatalf("step %d losses diverge: mlless=%v pytorch=%v pywren=%v",
+						i+1, a[i], b[i], c[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSystemsDifferInTimeNotMath pins the complementary property: the
+// same 1-worker runs above must produce different wall-clock and cost
+// profiles even though the math is identical.
+func TestSystemsDifferInTimeNotMath(t *testing.T) {
+	clA, jobA := stageJob(t, true)
+	mlless, err := core.Run(clA, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB, jobB := stageJob(t, true)
+	pt, err := serverful.Train(clB.COS, jobB, serverful.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clC, jobC := stageJob(t, true)
+	pw, err := pywren.Train(clC.Platform, clC.COS, jobC, pywren.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlless.ExecTime == pt.ExecTime || mlless.ExecTime == pw.ExecTime {
+		t.Fatal("systems models suspiciously identical in time")
+	}
+	// PyWren must be the slowest of the three (§6.2's headline).
+	if pw.ExecTime <= mlless.ExecTime || pw.ExecTime <= pt.ExecTime {
+		t.Fatalf("PyWren (%v) not slowest: mlless=%v pytorch=%v", pw.ExecTime, mlless.ExecTime, pt.ExecTime)
+	}
+}

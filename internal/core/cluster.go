@@ -1,0 +1,76 @@
+// Package core implements the MLLess training system itself (§3): the
+// driver, the serverless supervisor, the data-parallel FaaS workers, and
+// the BSP/ISP step engine that coordinates them over the simulated cloud
+// substrates. The engine runs the actual ML mathematics (real gradients,
+// real convergence) while charging virtual time for compute and for every
+// trip through the indirect-communication services, and bills every
+// component per the paper's cost model (§6.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mlless/internal/faas"
+	"mlless/internal/kvstore"
+	"mlless/internal/msgqueue"
+	"mlless/internal/netmodel"
+	"mlless/internal/objstore"
+)
+
+// ComputeModel converts floating-point work into virtual compute time.
+type ComputeModel struct {
+	// FlopsPerSecond is the effective sparse-operation throughput of one
+	// vCPU running the Cython-compiled MLLess kernels (§5), including
+	// the (de)serialization work that dominates update exchange. The
+	// default is calibrated so per-step durations land in the range the
+	// paper measures (Fig 2a: ≈0.4–1.2 steps/s for PMF); see
+	// EXPERIMENTS.md for the calibration notes.
+	FlopsPerSecond float64
+}
+
+// DefaultComputeModel returns the calibrated single-vCPU throughput.
+func DefaultComputeModel() ComputeModel {
+	return ComputeModel{FlopsPerSecond: 8e6}
+}
+
+// Cluster bundles the simulated cloud deployment of §6.1: a Redis VM
+// (M1.2x16), a messaging VM (C1.4x4), the object storage service and the
+// FaaS platform. One Cluster can run many jobs sequentially; services
+// accumulate traffic metrics across them.
+type Cluster struct {
+	// Redis is the low-latency KV store workers exchange updates through.
+	Redis *kvstore.Store
+	// COS is the object store holding dataset mini-batches.
+	COS *objstore.Store
+	// Broker is the control-plane messaging service.
+	Broker *msgqueue.Broker
+	// Platform is the FaaS provider running workers and the supervisor.
+	Platform *faas.Platform
+	// Compute converts flops to virtual seconds.
+	Compute ComputeModel
+
+	mu    sync.Mutex
+	jobID int
+}
+
+// NewCluster builds a cluster with the default link parameters and FaaS
+// configuration.
+func NewCluster() *Cluster {
+	return &Cluster{
+		Redis:    kvstore.New(netmodel.RedisLink()),
+		COS:      objstore.New(netmodel.COSLink()),
+		Broker:   msgqueue.New(netmodel.BrokerLink()),
+		Platform: faas.NewPlatform(faas.DefaultConfig()),
+		Compute:  DefaultComputeModel(),
+	}
+}
+
+// nextJobID allocates a unique namespace prefix for a job's keys and
+// queues.
+func (c *Cluster) nextJobID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobID++
+	return fmt.Sprintf("job%d", c.jobID)
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"mlless/internal/consistency"
+	"mlless/internal/cost"
+	"mlless/internal/dataset"
+	"mlless/internal/faas"
+	"mlless/internal/fit"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/sched"
+	"mlless/internal/sparse"
+	"mlless/internal/vclock"
+)
+
+// relaunchMargin is how close to the FaaS execution limit a function may
+// get before the engine checkpoints and re-launches it (§3.1: "pause
+// execution when the 10-minute timeout is close, checkpoint its internal
+// state to storage and re-launch it").
+const relaunchMargin = 30 * time.Second
+
+// workerState is one serverless worker: its function instance, its local
+// model replica, optimizer and significance filter (§3.1).
+type workerState struct {
+	id     int
+	inst   *faas.Instance
+	model  model.Model
+	opt    optimizer.Optimizer
+	filter *consistency.Filter
+
+	lastLoss     float64
+	pendingMerge string // eviction-replica key to average in next step
+	alive        bool
+}
+
+type engine struct {
+	cl  *Cluster
+	job Job
+	id  string
+
+	workers []*workerState
+	sup     *faas.Instance
+	plan    dataset.Plan
+	batches *dataset.Cache
+
+	smoother *fit.EWMA
+	tuner    *sched.Tuner
+	meter    cost.Meter
+
+	history    []LossPoint
+	removals   []Removal
+	relaunches int
+
+	totalUpdateBytes int64
+	prevBarrier      time.Duration
+	lastStepDur      time.Duration
+}
+
+// relaunchHorizon is how much execution budget must remain for a
+// function to skip checkpointing: a fixed safety margin plus room for
+// two steps like the last one (steps cannot be split mid-flight).
+func (e *engine) relaunchHorizon() time.Duration {
+	return relaunchMargin + 2*e.lastStepDur
+}
+
+// Run executes a training job on the cluster and returns its result.
+func Run(cl *Cluster, job Job) (*Result, error) {
+	job.Spec = job.Spec.withDefaults()
+	if err := job.validate(job.Spec.MemoryMiB); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cl:       cl,
+		job:      job,
+		id:       cl.nextJobID(),
+		smoother: fit.NewEWMA(job.Spec.LossAlpha),
+	}
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+	res, err := e.loop()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *engine) updKey(step, worker int) string {
+	return fmt.Sprintf("%s/upd/%d/%d", e.id, step, worker)
+}
+func (e *engine) evictKey(worker int) string {
+	return fmt.Sprintf("%s/evict/%d", e.id, worker)
+}
+func (e *engine) ckptKey(worker int) string {
+	return fmt.Sprintf("%s/ckpt/%d", e.id, worker)
+}
+func (e *engine) lossQueue() string          { return e.id + "/losses" }
+func (e *engine) annExchange() string        { return e.id + "/ann" }
+func (e *engine) annQueue(worker int) string { return fmt.Sprintf("%s/ann/%d", e.id, worker) }
+
+func (e *engine) setup() error {
+	spec := e.job.Spec
+
+	sup, err := e.cl.Platform.Invoke(e.id+"/supervisor", spec.MemoryMiB, 0)
+	if err != nil {
+		return fmt.Errorf("core: launch supervisor: %w", err)
+	}
+	e.sup = sup
+
+	e.cl.Broker.DeclareQueue(e.lossQueue())
+	e.cl.Broker.DeclareFanout(e.annExchange())
+
+	v := spec.Significance
+	if spec.Sync != consistency.ISP {
+		v = 0
+	}
+	e.workers = make([]*workerState, spec.Workers)
+	for i := range e.workers {
+		inst, err := e.cl.Platform.Invoke(fmt.Sprintf("%s/worker-%d", e.id, i), spec.MemoryMiB, 0)
+		if err != nil {
+			return fmt.Errorf("core: launch worker %d: %w", i, err)
+		}
+		e.cl.Broker.DeclareQueue(e.annQueue(i))
+		if err := e.cl.Broker.Bind(e.annExchange(), e.annQueue(i)); err != nil {
+			return fmt.Errorf("core: bind worker %d: %w", i, err)
+		}
+		e.workers[i] = &workerState{
+			id:     i,
+			inst:   inst,
+			model:  e.job.Model.Clone(),
+			opt:    e.job.Optimizer.Clone(),
+			filter: consistency.NewFilterVariant(v, spec.FilterVariant),
+			alive:  true,
+		}
+	}
+
+	e.plan = dataset.NewPlan(e.job.NumBatches, spec.Workers)
+	e.batches = dataset.NewCache(e.cl.COS, e.job.Bucket)
+
+	if spec.AutoTune {
+		cfg := spec.Sched
+		// The supervisor smooths the global loss once; feed the tuner the
+		// already-smoothed stream.
+		cfg.LossAlpha = 1
+		// Unless the caller says otherwise, never scale below a quarter
+		// of the original pool: weak scaling shrinks the global batch
+		// with p (§3.2), and a near-empty pool can destabilize deep
+		// convergence.
+		if cfg.MinWorkers <= 0 {
+			cfg.MinWorkers = spec.Workers / 4
+		}
+		e.tuner = sched.New(cfg)
+	}
+	return nil
+}
+
+func (e *engine) active() []*workerState {
+	out := make([]*workerState, 0, len(e.workers))
+	for _, w := range e.workers {
+		if w.alive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// chargeCompute advances a worker's clock by the virtual duration of
+// flops floating-point operations at its memory-proportional CPU share.
+func (e *engine) chargeCompute(w *workerState, flops float64) {
+	secs := flops / (e.cl.Compute.FlopsPerSecond * w.inst.CPUShare())
+	w.inst.Clock.Advance(time.Duration(secs * float64(time.Second)))
+}
+
+// maybeRelaunch checkpoints and re-launches a worker approaching the
+// platform's execution limit, charging the checkpoint transfer, the cold
+// start and the state download.
+func (e *engine) maybeRelaunch(w *workerState) error {
+	cfg := e.cl.Platform.Config()
+	if cfg.MaxDuration <= 0 || w.inst.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
+		return nil
+	}
+	// Checkpoint: model parameters plus optimizer state (≈2x params for
+	// Adam's two moments; charged, not materialized).
+	params := denseOf(w.model)
+	payload := params.Encode()
+	e.cl.Redis.Set(&w.inst.Clock, e.ckptKey(w.id), payload)
+	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
+	resumeAt := w.inst.Clock.Now()
+	e.billInstance(w.inst)
+	if err := e.cl.Platform.Terminate(w.inst); err != nil {
+		return fmt.Errorf("core: relaunch terminate worker %d: %w", w.id, err)
+	}
+	inst, err := e.cl.Platform.Invoke(fmt.Sprintf("%s/worker-%d-r", e.id, w.id), w.inst.MemoryMiB, resumeAt)
+	if err != nil {
+		return fmt.Errorf("core: relaunch worker %d: %w", w.id, err)
+	}
+	w.inst = inst
+	// Download the checkpoint into the fresh instance.
+	if _, ok := e.cl.Redis.Get(&w.inst.Clock, e.ckptKey(w.id)); !ok {
+		return fmt.Errorf("core: relaunch worker %d: checkpoint vanished", w.id)
+	}
+	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
+	e.relaunches++
+	return nil
+}
+
+// denseOf returns the model's parameter vector.
+func denseOf(m model.Model) sparse.Dense { return m.Params() }
+
+// maybeRelaunchSup does for the supervisor what maybeRelaunch does for
+// workers. Its checkpoint is small: the loss history and tuner state.
+func (e *engine) maybeRelaunchSup() error {
+	cfg := e.cl.Platform.Config()
+	if cfg.MaxDuration <= 0 || e.sup.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
+		return nil
+	}
+	ckpt := make([]byte, 24*len(e.history)+1024)
+	e.cl.Redis.Set(&e.sup.Clock, e.id+"/sup-ckpt", ckpt)
+	resumeAt := e.sup.Clock.Now()
+	e.billInstance(e.sup)
+	if err := e.cl.Platform.Terminate(e.sup); err != nil {
+		return fmt.Errorf("core: relaunch supervisor: %w", err)
+	}
+	sup, err := e.cl.Platform.Invoke(e.id+"/supervisor-r", e.sup.MemoryMiB, resumeAt)
+	if err != nil {
+		return fmt.Errorf("core: relaunch supervisor: %w", err)
+	}
+	e.sup = sup
+	if _, ok := e.cl.Redis.Get(&e.sup.Clock, e.id+"/sup-ckpt"); !ok {
+		return fmt.Errorf("core: relaunch supervisor: checkpoint vanished")
+	}
+	e.relaunches++
+	return nil
+}
+
+// phaseA is one worker's compute-and-publish half of a BSP step.
+func (e *engine) phaseA(w *workerState, step, pActive int) error {
+	if err := e.maybeRelaunch(w); err != nil {
+		return err
+	}
+	clk := &w.inst.Clock
+
+	// Reintegrate an evicted peer's replica (§4.2, eviction policy).
+	if w.pendingMerge != "" {
+		if buf, ok := e.cl.Redis.Get(clk, w.pendingMerge); ok {
+			replica, err := sparse.DecodeDense(buf)
+			if err != nil {
+				return fmt.Errorf("core: worker %d: decode eviction replica: %w", w.id, err)
+			}
+			w.model.Params().Average(replica)
+			e.chargeCompute(w, 2*float64(len(replica)))
+		}
+		w.pendingMerge = ""
+	}
+
+	// Fetch this step's mini-batch from object storage (§3.2).
+	batchIdx := e.plan.BatchFor(w.id, step)
+	batch, err := e.batches.Fetch(clk, batchIdx)
+	if err != nil {
+		return fmt.Errorf("core: worker %d step %d: %w", w.id, step, err)
+	}
+
+	// Local loss and gradient (real math, virtual time).
+	loss := w.model.Loss(batch)
+	grad := w.model.Gradient(batch)
+	e.chargeCompute(w, 1.5*w.model.GradientWork(len(batch)))
+
+	// Optimizer transform, averaged across the active pool: the global
+	// update is the mean of local updates (§3.2, "local gradients are
+	// averaged to obtain a global gradient update").
+	u := w.opt.Step(step, grad)
+	u.Scale(1 / float64(pActive))
+	w.model.ApplyUpdate(u)
+	e.chargeCompute(w, 2*float64(u.Len()))
+
+	// Significance filter, then publish the significant part.
+	sig := w.filter.Add(step, u, w.model.Params())
+	e.chargeCompute(w, 2*float64(sig.Len()))
+	payload := sig.Encode()
+	e.cl.Redis.Set(clk, e.updKey(step, w.id), payload)
+
+	// Announce availability and report the loss.
+	if err := e.cl.Broker.PublishFanout(clk, e.annExchange(),
+		announce{Worker: uint32(w.id), Step: uint32(step), Bytes: uint32(len(payload))}.encode()); err != nil {
+		return fmt.Errorf("core: worker %d: announce: %w", w.id, err)
+	}
+	if err := e.cl.Broker.Publish(clk, e.lossQueue(),
+		lossReport{Worker: uint32(w.id), Step: uint32(step), Loss: loss, UpdateBytes: uint32(len(payload))}.encode()); err != nil {
+		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
+	}
+	w.lastLoss = loss
+	return nil
+}
+
+// phaseB is one worker's pull-and-merge half: fetch every peer's
+// published update from the KV store and apply it (§3.2: "each worker
+// independently of the others pulls from external storage all the local
+// updates, and aggregates them"). Under SSP (Staleness > 1) a sync point
+// pulls every step in (fromStep, toStep]; under per-step BSP/ISP the
+// window is a single step.
+func (e *engine) phaseB(w *workerState, fromStep, toStep int, active []*workerState) error {
+	clk := &w.inst.Clock
+
+	// Drain availability announcements.
+	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
+	for _, m := range msgs {
+		if _, err := decodeAnnounce(m); err != nil {
+			return fmt.Errorf("core: worker %d: %w", w.id, err)
+		}
+	}
+
+	keys := make([]string, 0, (len(active)-1)*(toStep-fromStep))
+	for _, p := range active {
+		if p.id != w.id {
+			for s := fromStep + 1; s <= toStep; s++ {
+				keys = append(keys, e.updKey(s, p.id))
+			}
+		}
+	}
+	vals := e.cl.Redis.MGetView(clk, keys)
+	applied := 0
+	for i, buf := range vals {
+		if buf == nil {
+			return fmt.Errorf("core: worker %d sync at step %d: missing peer update %s", w.id, toStep, keys[i])
+		}
+		// Stream the encoded update straight into the replica's dense
+		// parameters — equivalent to decode + ApplyUpdate, without the
+		// intermediate map.
+		n, err := sparse.AddEncoded(w.model.Params(), buf)
+		if err != nil {
+			return fmt.Errorf("core: worker %d sync at step %d: %w", w.id, toStep, err)
+		}
+		applied += n
+	}
+	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
+	e.chargeCompute(w, 4*float64(applied))
+	return nil
+}
+
+// runPhase executes fn for every active worker concurrently (workers are
+// independent within a phase; the shared services are thread-safe) and
+// returns the first error by worker id, for determinism.
+func runPhase(active []*workerState, fn func(w *workerState) error) error {
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for i, w := range active {
+		wg.Add(1)
+		go func(i int, w *workerState) {
+			defer wg.Done()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *engine) loop() (*Result, error) {
+	spec := e.job.Spec
+	converged := false
+	diverged := false
+	lastSync := 0
+	bestLoss := math.Inf(1)
+	sinceImproved := 0
+
+	for step := 1; step <= spec.MaxSteps; step++ {
+		active := e.active()
+		pActive := len(active)
+		// Under SSP (Staleness > 1) workers run ahead between sync
+		// points; pulls and barriers happen every Staleness steps.
+		syncStep := spec.Staleness <= 1 || step%spec.Staleness == 0 || step == spec.MaxSteps
+
+		if err := runPhase(active, func(w *workerState) error {
+			return e.phaseA(w, step, pActive)
+		}); err != nil {
+			return nil, err
+		}
+
+		clocks := make([]*vclock.Clock, len(active))
+		for i, w := range active {
+			clocks[i] = &w.inst.Clock
+		}
+		var barrier time.Duration
+		if syncStep {
+			if err := runPhase(active, func(w *workerState) error {
+				return e.phaseB(w, lastSync, step, active)
+			}); err != nil {
+				return nil, err
+			}
+			// BSP barrier (§3.1): the slowest worker paces the step.
+			barrier = vclock.Barrier(clocks)
+			for s := lastSync + 1; s <= step; s++ {
+				e.expireStep(s, active)
+			}
+			lastSync = step
+		} else {
+			barrier = vclock.Max(clocks)
+		}
+		stepDur := barrier - e.prevBarrier
+		e.prevBarrier = barrier
+		e.lastStepDur = stepDur
+
+		// Supervisor: aggregate the loss reports.
+		e.sup.Clock.AdvanceTo(barrier)
+		if err := e.maybeRelaunchSup(); err != nil {
+			return nil, err
+		}
+		raw, updateBytes, err := e.aggregateReports(pActive)
+		if err != nil {
+			return nil, err
+		}
+		smoothed := e.smoother.Update(raw)
+		e.totalUpdateBytes += updateBytes
+		e.history = append(e.history, LossPoint{
+			Step: step, Time: barrier, Loss: smoothed, RawLoss: raw,
+			Workers: pActive, UpdateBytes: updateBytes, Duration: stepDur,
+		})
+
+		// Stop criteria.
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			diverged = true
+			break
+		}
+		if spec.TargetLoss > 0 && smoothed <= spec.TargetLoss {
+			converged = true
+			break
+		}
+		if spec.MaxWallClock > 0 && barrier >= spec.MaxWallClock {
+			break
+		}
+		if spec.Patience > 0 {
+			// Only meaningful progress resets the counter: at least 0.1%
+			// relative improvement over the best loss seen.
+			const minRelImprovement = 1e-3
+			if smoothed < bestLoss*(1-minRelImprovement) {
+				bestLoss = smoothed
+				sinceImproved = 0
+			} else if sinceImproved++; sinceImproved >= spec.Patience {
+				converged = true
+				break
+			}
+		}
+
+		// Scale-in auto-tuner (§4.2), run by the supervisor. Evictions
+		// only happen at sync points so no published-but-unpulled update
+		// is lost under SSP.
+		if e.tuner != nil {
+			e.tuner.Observe(step, smoothed, stepDur)
+			if syncStep {
+				d := e.tuner.Decide(e.sup.Clock.Now(), step, pActive)
+				if d.Remove && pActive > e.tuner.Config().MinWorkers {
+					if err := e.evictOne(step, barrier, active); err != nil {
+						return nil, err
+					}
+					e.tuner.NotifyRemoval(step)
+				}
+			}
+		}
+	}
+
+	return e.teardown(converged, diverged)
+}
+
+// aggregateReports drains the loss queue and averages worker losses in
+// worker-id order (deterministic float summation).
+func (e *engine) aggregateReports(expect int) (avgLoss float64, updateBytes int64, err error) {
+	msgs := e.cl.Broker.ConsumeAll(&e.sup.Clock, e.lossQueue())
+	reports := make([]lossReport, 0, len(msgs))
+	for _, m := range msgs {
+		r, err := decodeLossReport(m)
+		if err != nil {
+			return 0, 0, err
+		}
+		reports = append(reports, r)
+	}
+	if len(reports) != expect {
+		return 0, 0, fmt.Errorf("core: supervisor got %d loss reports, want %d", len(reports), expect)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Worker < reports[j].Worker })
+	sum := 0.0
+	for _, r := range reports {
+		sum += r.Loss
+		updateBytes += int64(r.UpdateBytes)
+	}
+	return sum / float64(len(reports)), updateBytes, nil
+}
+
+// evictOne removes the worker with the lowest-quality replica (highest
+// recent loss). Under ISP the leaving worker parks its replica in the KV
+// store for the survivors to average in (§4.2, eviction policy).
+func (e *engine) evictOne(step int, now time.Duration, active []*workerState) error {
+	victim := active[0]
+	for _, w := range active[1:] {
+		if w.lastLoss > victim.lastLoss {
+			victim = w
+		}
+	}
+	if victim.filter.BaseThreshold() > 0 && !e.job.Spec.NoEvictionMerge {
+		payload := victim.model.Params().Encode()
+		e.cl.Redis.Set(&victim.inst.Clock, e.evictKey(victim.id), payload)
+		for _, w := range active {
+			if w.id != victim.id {
+				w.pendingMerge = e.evictKey(victim.id)
+			}
+		}
+	}
+	e.billInstance(victim.inst)
+	if err := e.cl.Platform.Terminate(victim.inst); err != nil {
+		return fmt.Errorf("core: evict worker %d: %w", victim.id, err)
+	}
+	e.cl.Broker.Unbind(e.annExchange(), e.annQueue(victim.id))
+	e.cl.Broker.DeleteQueue(e.annQueue(victim.id))
+	victim.alive = false
+	e.removals = append(e.removals, Removal{
+		Step: step, Time: now, Worker: victim.id, WorkersLeft: len(active) - 1,
+	})
+	return nil
+}
+
+// expireStep emulates Redis key TTL expiry for a completed step's update
+// keys; expiry costs no client time.
+func (e *engine) expireStep(step int, active []*workerState) {
+	var janitor vclock.Clock
+	for _, w := range active {
+		e.cl.Redis.Delete(&janitor, e.updKey(step, w.id))
+	}
+}
+
+// billInstance adds a function's elapsed execution to the job bill.
+func (e *engine) billInstance(inst *faas.Instance) {
+	e.meter.AddFunction(inst.Name, inst.Elapsed(), float64(inst.MemoryMiB)/1024)
+}
+
+func (e *engine) teardown(converged, diverged bool) (*Result, error) {
+	execTime := e.prevBarrier
+
+	for _, w := range e.workers {
+		if !w.alive {
+			continue
+		}
+		e.billInstance(w.inst)
+		if err := e.cl.Platform.Terminate(w.inst); err != nil {
+			return nil, err
+		}
+	}
+	e.billInstance(e.sup)
+	if err := e.cl.Platform.Terminate(e.sup); err != nil {
+		return nil, err
+	}
+
+	// The two always-on VMs of the MLLess deployment (§6.1): messaging
+	// (C1.4x4) and Redis (M1.2x16), prorated per second over the job.
+	e.meter.AddVM("messaging-vm-c1.4x4", cost.PriceC14x4PerHour, execTime)
+	e.meter.AddVM("redis-vm-m1.2x16", cost.PriceM12x16PerHour, execTime)
+
+	finalLoss := 0.0
+	if len(e.history) > 0 {
+		finalLoss = e.history[len(e.history)-1].Loss
+	}
+	return &Result{
+		Converged:        converged,
+		Diverged:         diverged,
+		ExecTime:         execTime,
+		Steps:            len(e.history),
+		FinalLoss:        finalLoss,
+		History:          e.history,
+		Removals:         e.removals,
+		Cost:             e.meter.Report(),
+		TotalUpdateBytes: e.totalUpdateBytes,
+		Relaunches:       e.relaunches,
+	}, nil
+}

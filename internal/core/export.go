@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// exportedResult is the stable JSON shape of a Result. Durations are
+// exported in (fractional) seconds: the natural unit for plotting and
+// for comparing against the paper's axes.
+type exportedResult struct {
+	Converged  bool              `json:"converged"`
+	Diverged   bool              `json:"diverged"`
+	ExecTime   float64           `json:"exec_time_s"`
+	Steps      int               `json:"steps"`
+	FinalLoss  float64           `json:"final_loss"`
+	TotalCost  float64           `json:"total_cost_usd"`
+	Bytes      int64             `json:"update_bytes_total"`
+	Relaunches int               `json:"relaunches"`
+	History    []exportedPoint   `json:"history"`
+	Removals   []exportedRemoval `json:"removals,omitempty"`
+	Bill       []exportedCharge  `json:"bill"`
+}
+
+type exportedPoint struct {
+	Step        int     `json:"step"`
+	Time        float64 `json:"time_s"`
+	Loss        float64 `json:"loss"`
+	RawLoss     float64 `json:"raw_loss"`
+	Workers     int     `json:"workers"`
+	UpdateBytes int64   `json:"update_bytes"`
+}
+
+type exportedRemoval struct {
+	Step        int     `json:"step"`
+	Time        float64 `json:"time_s"`
+	Worker      int     `json:"worker"`
+	WorkersLeft int     `json:"workers_left"`
+}
+
+type exportedCharge struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Seconds float64 `json:"billed_s"`
+	Dollars float64 `json:"usd"`
+}
+
+// WriteJSON streams the result as a single JSON document: the loss
+// trace, the eviction log and the itemized bill, with durations in
+// seconds. It is the machine-readable companion of Cost.String() and
+// the Fig 6 series tables.
+func (r *Result) WriteJSON(w io.Writer) error {
+	secs := func(d time.Duration) float64 { return d.Seconds() }
+	out := exportedResult{
+		Converged:  r.Converged,
+		Diverged:   r.Diverged,
+		ExecTime:   secs(r.ExecTime),
+		Steps:      r.Steps,
+		FinalLoss:  r.FinalLoss,
+		TotalCost:  r.Cost.Total,
+		Bytes:      r.TotalUpdateBytes,
+		Relaunches: r.Relaunches,
+	}
+	out.History = make([]exportedPoint, len(r.History))
+	for i, p := range r.History {
+		out.History[i] = exportedPoint{
+			Step: p.Step, Time: secs(p.Time), Loss: p.Loss, RawLoss: p.RawLoss,
+			Workers: p.Workers, UpdateBytes: p.UpdateBytes,
+		}
+	}
+	for _, rm := range r.Removals {
+		out.Removals = append(out.Removals, exportedRemoval{
+			Step: rm.Step, Time: secs(rm.Time), Worker: rm.Worker, WorkersLeft: rm.WorkersLeft,
+		})
+	}
+	for _, c := range r.Cost.Components {
+		out.Bill = append(out.Bill, exportedCharge{
+			Name: c.Name, Kind: c.Kind, Seconds: secs(c.Duration), Dollars: c.Dollars,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("core: export result: %w", err)
+	}
+	return nil
+}

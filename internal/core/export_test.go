@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mlless/internal/cost"
+)
+
+func TestWriteJSON(t *testing.T) {
+	res := &Result{
+		Converged: true,
+		ExecTime:  90 * time.Second,
+		Steps:     2,
+		FinalLoss: 0.7,
+		History: []LossPoint{
+			{Step: 1, Time: 40 * time.Second, Loss: 0.9, RawLoss: 0.91, Workers: 4, UpdateBytes: 100},
+			{Step: 2, Time: 90 * time.Second, Loss: 0.7, RawLoss: 0.69, Workers: 3, UpdateBytes: 80},
+		},
+		Removals: []Removal{{Step: 1, Time: 40 * time.Second, Worker: 2, WorkersLeft: 3}},
+	}
+	res.Cost.Total = 0.5
+	res.Cost.Components = []cost.Component{
+		{Name: "worker-0", Kind: "function", Duration: 90 * time.Second, Dollars: 0.25},
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed["exec_time_s"].(float64) != 90 {
+		t.Fatalf("exec_time_s = %v", parsed["exec_time_s"])
+	}
+	hist := parsed["history"].([]any)
+	if len(hist) != 2 {
+		t.Fatalf("history length %d", len(hist))
+	}
+	first := hist[0].(map[string]any)
+	if first["time_s"].(float64) != 40 || first["workers"].(float64) != 4 {
+		t.Fatalf("first point: %v", first)
+	}
+	if len(parsed["removals"].([]any)) != 1 {
+		t.Fatal("removals missing")
+	}
+	bill := parsed["bill"].([]any)
+	if bill[0].(map[string]any)["usd"].(float64) != 0.25 {
+		t.Fatalf("bill: %v", bill)
+	}
+}

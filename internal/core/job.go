@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mlless/internal/consistency"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/sched"
+)
+
+// Validation errors.
+var (
+	// ErrNoWorkers reports a job with a non-positive worker count.
+	ErrNoWorkers = errors.New("core: job needs at least one worker")
+	// ErrNoData reports a job with no staged mini-batches.
+	ErrNoData = errors.New("core: job has no staged mini-batches")
+	// ErrModelTooLarge reports a model replica that cannot fit in a
+	// worker's function memory.
+	ErrModelTooLarge = errors.New("core: model replica exceeds function memory")
+)
+
+// Spec is the tunable configuration of a training job.
+type Spec struct {
+	// Workers is the initial worker count P.
+	Workers int
+	// Sync selects BSP or ISP (§3.1, §4.1).
+	Sync consistency.Mode
+	// Significance is the ISP base threshold v (ignored under BSP).
+	Significance float64
+	// AutoTune enables the scale-in scheduler (§4.2).
+	AutoTune bool
+	// Sched configures the auto-tuner; zero values take the paper's
+	// defaults (epoch 20 s, Δ 10 s).
+	Sched sched.Config
+	// TargetLoss stops the job once the smoothed global loss reaches it;
+	// 0 disables the criterion (the job runs MaxSteps).
+	TargetLoss float64
+	// MaxSteps caps the run (default 5000).
+	MaxSteps int
+	// MemoryMiB sizes the worker functions (default 2048, the largest
+	// IBM Cloud Functions offers, as in §6.1).
+	MemoryMiB int
+	// LossAlpha is the EWMA factor for the global loss stream
+	// (default 0.25).
+	LossAlpha float64
+	// MaxWallClock aborts the job once the virtual clock passes it
+	// (0 = unlimited); Fig 6/7 use it to bound non-converging systems.
+	MaxWallClock time.Duration
+	// Staleness enables the SSP extension the paper mentions as "easy
+	// enough to integrate" (§3.1): workers synchronize (pull peer
+	// updates and barrier) every Staleness steps instead of every step,
+	// bounding replica divergence by the staleness window. 0 or 1 keeps
+	// the paper's per-step synchronization.
+	Staleness int
+	// FilterVariant selects the significance-filter design for the
+	// ablation benches; the zero value is the paper's
+	// accumulate-and-flush filter (§4.1).
+	FilterVariant consistency.Variant
+	// NoEvictionMerge disables the one-shot reintegration of a leaving
+	// worker's replica (§4.2, eviction policy) — an ablation: the
+	// residual updates the worker was withholding are then lost.
+	NoEvictionMerge bool
+	// Patience stops the job when the smoothed loss has not improved
+	// for this many consecutive steps (0 disables) — a convergence
+	// criterion for jobs without a known target loss.
+	Patience int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Sync == 0 {
+		s.Sync = consistency.BSP
+	}
+	if s.Sync == consistency.BSP {
+		s.Significance = 0
+	}
+	if s.MaxSteps <= 0 {
+		s.MaxSteps = 5000
+	}
+	if s.MemoryMiB <= 0 {
+		s.MemoryMiB = 2048
+	}
+	if s.LossAlpha <= 0 {
+		s.LossAlpha = 0.25
+	}
+	if s.Staleness < 1 {
+		s.Staleness = 1
+	}
+	return s
+}
+
+// Job couples a spec with the model, optimizer and staged dataset it
+// trains on. Model and Optimizer act as prototypes: every worker gets an
+// independent clone, so a Job can be reused across runs.
+type Job struct {
+	Spec Spec
+	// Model is the prototype replica (cloned per worker).
+	Model model.Model
+	// Optimizer is the prototype optimizer (cloned per worker).
+	Optimizer optimizer.Optimizer
+	// Bucket is the object-store bucket holding the staged mini-batches.
+	Bucket string
+	// NumBatches is the staged mini-batch count.
+	NumBatches int
+	// BatchSize is the per-worker mini-batch size B (metadata for
+	// reporting; the staged batches define the actual sizes).
+	BatchSize int
+}
+
+func (j Job) validate(memoryMiB int) error {
+	if j.Spec.Workers <= 0 {
+		return ErrNoWorkers
+	}
+	if j.NumBatches <= 0 {
+		return ErrNoData
+	}
+	if j.Model == nil {
+		return errors.New("core: job has no model")
+	}
+	if j.Optimizer == nil {
+		return errors.New("core: job has no optimizer")
+	}
+	// A replica must fit beside optimizer state and a mini-batch in
+	// function memory: ~8 bytes/param for the model plus ~16 for
+	// optimizer state (Adam worst case), with 4x headroom for the
+	// runtime (§2's "loading all training data into memory" is exactly
+	// what this forbids).
+	replicaBytes := int64(j.Model.NumParams()) * 24
+	if replicaBytes*2 > int64(memoryMiB)*1024*1024 {
+		return fmt.Errorf("%w: %d params need ~%d MiB, function has %d MiB",
+			ErrModelTooLarge, j.Model.NumParams(), replicaBytes*2/(1024*1024), memoryMiB)
+	}
+	return nil
+}

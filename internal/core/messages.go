@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// lossReport is the control message each worker sends the supervisor at
+// every step (§3.1: the supervisor "collect[s] and aggregate[s]
+// statistics").
+type lossReport struct {
+	Worker      uint32
+	Step        uint32
+	Loss        float64
+	UpdateBytes uint32
+}
+
+const lossReportSize = 4 + 4 + 8 + 4
+
+func (r lossReport) encode() []byte {
+	buf := make([]byte, lossReportSize)
+	binary.LittleEndian.PutUint32(buf[0:], r.Worker)
+	binary.LittleEndian.PutUint32(buf[4:], r.Step)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Loss))
+	binary.LittleEndian.PutUint32(buf[16:], r.UpdateBytes)
+	return buf
+}
+
+func decodeLossReport(buf []byte) (lossReport, error) {
+	if len(buf) != lossReportSize {
+		return lossReport{}, fmt.Errorf("core: loss report of %d bytes, want %d", len(buf), lossReportSize)
+	}
+	return lossReport{
+		Worker:      binary.LittleEndian.Uint32(buf[0:]),
+		Step:        binary.LittleEndian.Uint32(buf[4:]),
+		Loss:        math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		UpdateBytes: binary.LittleEndian.Uint32(buf[16:]),
+	}, nil
+}
+
+// announce is the update-availability message workers fan out to each
+// other through the messaging service (§3.2: "The availability of a
+// local update is announced to the rest of workers through the messaging
+// service").
+type announce struct {
+	Worker uint32
+	Step   uint32
+	Bytes  uint32
+}
+
+const announceSize = 4 + 4 + 4
+
+func (a announce) encode() []byte {
+	buf := make([]byte, announceSize)
+	binary.LittleEndian.PutUint32(buf[0:], a.Worker)
+	binary.LittleEndian.PutUint32(buf[4:], a.Step)
+	binary.LittleEndian.PutUint32(buf[8:], a.Bytes)
+	return buf
+}
+
+func decodeAnnounce(buf []byte) (announce, error) {
+	if len(buf) != announceSize {
+		return announce{}, fmt.Errorf("core: announce of %d bytes, want %d", len(buf), announceSize)
+	}
+	return announce{
+		Worker: binary.LittleEndian.Uint32(buf[0:]),
+		Step:   binary.LittleEndian.Uint32(buf[4:]),
+		Bytes:  binary.LittleEndian.Uint32(buf[8:]),
+	}, nil
+}

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+func TestLossReportRoundTrip(t *testing.T) {
+	r := lossReport{Worker: 7, Step: 42, Loss: 0.731, UpdateBytes: 1234}
+	got, err := decodeLossReport(r.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestLossReportBadLength(t *testing.T) {
+	if _, err := decodeLossReport([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short loss report accepted")
+	}
+	r := lossReport{Worker: 1}
+	if _, err := decodeLossReport(append(r.encode(), 0)); err == nil {
+		t.Fatal("long loss report accepted")
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	a := announce{Worker: 3, Step: 9, Bytes: 512}
+	got, err := decodeAnnounce(a.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestAnnounceBadLength(t *testing.T) {
+	if _, err := decodeAnnounce(nil); err == nil {
+		t.Fatal("nil announce accepted")
+	}
+	a := announce{}
+	if _, err := decodeAnnounce(a.encode()[:announceSize-1]); err == nil {
+		t.Fatal("short announce accepted")
+	}
+}

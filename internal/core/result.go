@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"mlless/internal/cost"
+)
+
+// LossPoint is one step of the global training trace.
+type LossPoint struct {
+	// Step is the 1-based training step.
+	Step int
+	// Time is the virtual wall-clock at the step's BSP barrier.
+	Time time.Duration
+	// Loss is the EWMA-smoothed global loss after the step.
+	Loss float64
+	// RawLoss is the unsmoothed mean of worker batch losses.
+	RawLoss float64
+	// Workers is the active worker count during the step.
+	Workers int
+	// UpdateBytes is the total size of updates published this step, the
+	// quantity ISP compresses.
+	UpdateBytes int64
+	// Duration is the step's wall-clock length.
+	Duration time.Duration
+}
+
+// Removal records one auto-tuner eviction.
+type Removal struct {
+	// Step is the training step after which the worker left.
+	Step int
+	// Time is the virtual time of the eviction.
+	Time time.Duration
+	// Worker is the evicted worker's id.
+	Worker int
+	// WorkersLeft is the pool size after the eviction.
+	WorkersLeft int
+}
+
+// Result is the outcome of a training job.
+type Result struct {
+	// Converged reports whether TargetLoss was reached.
+	Converged bool
+	// Diverged reports that training blew up (NaN/Inf loss); the run is
+	// stopped immediately when detected.
+	Diverged bool
+	// ExecTime is the virtual wall-clock from job launch to completion
+	// (startup excluded, as the paper's comparisons exclude it, §7).
+	ExecTime time.Duration
+	// Steps is the number of completed BSP steps.
+	Steps int
+	// FinalLoss is the last smoothed global loss.
+	FinalLoss float64
+	// History is the per-step trace (Fig 6's loss-vs-time series).
+	History []LossPoint
+	// Removals is the auto-tuner's eviction log.
+	Removals []Removal
+	// Cost is the itemized bill (workers + supervisor + the two VMs).
+	Cost cost.Report
+	// TotalUpdateBytes sums all published updates across the run.
+	TotalUpdateBytes int64
+	// Relaunches counts workers re-launched at the 10-minute FaaS limit.
+	Relaunches int
+}
+
+// TimeToLoss returns the first virtual time at which the smoothed loss
+// reached target, and whether it ever did — the metric behind the
+// paper's speedup claims ("to converge to a 'prudent' RMSE loss of
+// 0.738, PyTorch spends 2029 seconds; MLLess reaches it after 140").
+func (r *Result) TimeToLoss(target float64) (time.Duration, bool) {
+	for _, p := range r.History {
+		if p.Loss <= target {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// LossAtTime returns the smoothed loss of the last step completed by
+// virtual time t (Fig 7's loss-under-budget metric). Before the first
+// step it returns the first recorded loss and false.
+func (r *Result) LossAtTime(t time.Duration) (float64, bool) {
+	last, ok := 0.0, false
+	for _, p := range r.History {
+		if p.Time > t {
+			break
+		}
+		last, ok = p.Loss, true
+	}
+	if !ok && len(r.History) > 0 {
+		return r.History[0].Loss, false
+	}
+	return last, ok
+}
+
+// CostToLoss integrates the job's spending rate up to the first time the
+// smoothed loss reached target. It prorates every cost component over
+// ExecTime, which is exact for the VMs and for workers that ran the whole
+// job, and a close upper bound for auto-tuned pools (dollars accrue
+// slower after evictions).
+func (r *Result) CostToLoss(target float64) (float64, bool) {
+	t, ok := r.TimeToLoss(target)
+	if !ok {
+		return 0, false
+	}
+	if r.ExecTime <= 0 {
+		return 0, true
+	}
+	return r.Cost.Total * t.Seconds() / r.ExecTime.Seconds(), true
+}

@@ -1,0 +1,403 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/objstore"
+	"mlless/internal/sparse"
+	"mlless/internal/vclock"
+	"mlless/internal/xrand"
+)
+
+func smallCriteo() CriteoConfig {
+	cfg := DefaultCriteoConfig()
+	cfg.Samples = 2000
+	return cfg
+}
+
+func smallMovieLens() MovieLensConfig {
+	return MovieLensConfig{Users: 100, Items: 500, Ratings: 5000, Rank: 8, NoiseStd: 0.7, Seed: 4}
+}
+
+func TestSplit(t *testing.T) {
+	ds := &Dataset{Samples: make([]Sample, 10)}
+	batches := ds.Split(3)
+	if len(batches) != 4 {
+		t.Fatalf("Split(3) -> %d batches", len(batches))
+	}
+	if len(batches[3]) != 1 {
+		t.Fatalf("last batch len %d", len(batches[3]))
+	}
+	whole := ds.Split(0)
+	if len(whole) != 1 || len(whole[0]) != 10 {
+		t.Fatal("Split(0) must return one full batch")
+	}
+}
+
+func TestEncodeDecodeRatingBatch(t *testing.T) {
+	batch := []Sample{
+		{User: 1, Item: 2, Label: 4.5},
+		{User: 99, Item: 100000, Label: 1},
+	}
+	got, err := DecodeBatch(EncodeBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].User != 1 || got[1].Item != 100000 || got[0].Label != 4.5 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if !got[0].IsRating() {
+		t.Fatal("decoded rating sample lost its kind")
+	}
+}
+
+func TestEncodeDecodeFeatureBatch(t *testing.T) {
+	v := sparse.New()
+	v.Set(7, 1.25)
+	v.Set(100012, -3)
+	batch := []Sample{{Features: v, Label: 1, User: -1, Item: -1}}
+	got, err := DecodeBatch(EncodeBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].IsRating() {
+		t.Fatal("feature sample decoded as rating")
+	}
+	if got[0].Label != 1 || got[0].Features.Get(7) != 1.25 || got[0].Features.Get(100012) != -3 {
+		t.Fatalf("round trip = %+v", got[0])
+	}
+}
+
+func TestEncodeDecodeMixedBatchProperty(t *testing.T) {
+	rng := xrand.New(5)
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed ^ rng.Uint64())
+		n := r.Intn(20)
+		batch := make([]Sample, n)
+		for i := range batch {
+			if r.Bernoulli(0.5) {
+				batch[i] = Sample{User: r.Intn(1000), Item: r.Intn(1000), Label: r.Float64() * 5}
+			} else {
+				v := sparse.New()
+				for j := 0; j < r.Intn(10); j++ {
+					v.Set(uint32(r.Intn(1000)), r.NormFloat64())
+				}
+				batch[i] = Sample{Features: v, Label: float64(r.Intn(2)), User: -1, Item: -1}
+			}
+		}
+		got, err := DecodeBatch(EncodeBatch(batch))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range batch {
+			if got[i].Label != batch[i].Label || got[i].IsRating() != batch[i].IsRating() {
+				return false
+			}
+			if batch[i].IsRating() {
+				if got[i].User != batch[i].User || got[i].Item != batch[i].Item {
+					return false
+				}
+			} else if !got[i].Features.Equal(batch[i].Features) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	batch := []Sample{{User: 1, Item: 2, Label: 3}}
+	buf := EncodeBatch(batch)
+	if _, err := DecodeBatch(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	if _, err := DecodeBatch(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[4] = 9 // unknown kind
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateCriteoShape(t *testing.T) {
+	cfg := smallCriteo()
+	ds := GenerateCriteo(cfg)
+	if ds.Len() != cfg.Samples {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.FeatureDim != cfg.HashDim+cfg.NumericFeatures {
+		t.Fatalf("FeatureDim = %d", ds.FeatureDim)
+	}
+	ones := 0
+	for _, s := range ds.Samples {
+		if s.IsRating() {
+			t.Fatal("criteo generated rating samples")
+		}
+		nnz := s.Features.Len()
+		// 13 numeric plus at most 26 categorical (hash collisions can
+		// merge a few).
+		if nnz < cfg.NumericFeatures+cfg.CategoricalFeatures/2 || nnz > cfg.NumericFeatures+cfg.CategoricalFeatures {
+			t.Fatalf("sample nnz = %d", nnz)
+		}
+		if s.Label == 1 {
+			ones++
+		} else if s.Label != 0 {
+			t.Fatalf("label = %v", s.Label)
+		}
+	}
+	frac := float64(ones) / float64(ds.Len())
+	if frac < 0.1 || frac > 0.9 {
+		t.Fatalf("degenerate class balance: %v", frac)
+	}
+}
+
+func TestGenerateCriteoDeterministic(t *testing.T) {
+	a := GenerateCriteo(smallCriteo())
+	b := GenerateCriteo(smallCriteo())
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label || !a.Samples[i].Features.Equal(b.Samples[i].Features) {
+			t.Fatalf("generation not deterministic at sample %d", i)
+		}
+	}
+}
+
+func TestGenerateMovieLensShape(t *testing.T) {
+	cfg := smallMovieLens()
+	ds := GenerateMovieLens(cfg)
+	if ds.Len() != cfg.Ratings || ds.NumUsers != cfg.Users || ds.NumItems != cfg.Items {
+		t.Fatalf("shape: %d ratings, %d users, %d items", ds.Len(), ds.NumUsers, ds.NumItems)
+	}
+	counts := make([]int, cfg.Items)
+	for _, s := range ds.Samples {
+		if !s.IsRating() {
+			t.Fatal("movielens generated feature samples")
+		}
+		if s.Label < 1 || s.Label > 5 {
+			t.Fatalf("rating %v outside [1,5]", s.Label)
+		}
+		if s.User < 0 || s.User >= cfg.Users || s.Item < 0 || s.Item >= cfg.Items {
+			t.Fatalf("indices out of range: %+v", s)
+		}
+		counts[s.Item]++
+	}
+	if ds.RatingMean < 2.5 || ds.RatingMean > 4.5 {
+		t.Fatalf("RatingMean = %v", ds.RatingMean)
+	}
+	// Item popularity must be heavy-tailed (Zipf).
+	if counts[0] < counts[cfg.Items/2]*3 {
+		t.Fatalf("popularity not skewed: head=%d mid=%d", counts[0], counts[cfg.Items/2])
+	}
+}
+
+func TestStageAndFetch(t *testing.T) {
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	ds := GenerateMovieLens(smallMovieLens())
+	n := Stage(ds, store, &clk, "ml", 512, 7)
+	want := (ds.Len() + 511) / 512
+	if n != want {
+		t.Fatalf("Stage = %d batches, want %d", n, want)
+	}
+	total := 0
+	seen := make(map[[2]int]int)
+	for i := 0; i < n; i++ {
+		batch, err := FetchBatch(store, &clk, "ml", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+		for _, s := range batch {
+			seen[[2]int{s.User, s.Item}]++
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("staged %d samples, dataset has %d", total, ds.Len())
+	}
+	// Shuffle must preserve the multiset of samples.
+	orig := make(map[[2]int]int)
+	for _, s := range ds.Samples {
+		orig[[2]int{s.User, s.Item}]++
+	}
+	for k, v := range orig {
+		if seen[k] != v {
+			t.Fatalf("sample multiset changed at %v", k)
+		}
+	}
+}
+
+func TestFetchBatchMissing(t *testing.T) {
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	if _, err := FetchBatch(store, &clk, "none", 0); err == nil {
+		t.Fatal("missing batch fetched")
+	}
+}
+
+func TestPlanDistinctBatchesPerStep(t *testing.T) {
+	p := NewPlan(100, 8)
+	for step := 0; step < 30; step++ {
+		seen := make(map[int]bool)
+		for w := 0; w < 8; w++ {
+			b := p.BatchFor(w, step)
+			if b < 0 || b >= 100 {
+				t.Fatalf("batch index %d out of range", b)
+			}
+			if seen[b] {
+				t.Fatalf("step %d: workers share batch %d", step, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestPlanZeroBatches(t *testing.T) {
+	p := NewPlan(0, 4)
+	if p.BatchFor(3, 9) != 0 {
+		t.Fatal("empty plan must return 0")
+	}
+}
+
+func TestNormalizeMinMax(t *testing.T) {
+	cfg := smallCriteo()
+	cfg.Samples = 500
+	ds := GenerateCriteo(cfg)
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	n := Stage(ds, store, &clk, "criteo", 100, 9)
+	if err := NormalizeMinMax(store, &clk, "criteo", n, cfg.NumericFeatures); err != nil {
+		t.Fatal(err)
+	}
+	sawLow, sawHigh := false, false
+	for i := 0; i < n; i++ {
+		batch, err := FetchBatch(store, &clk, "criteo", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range batch {
+			for f := 0; f < cfg.NumericFeatures; f++ {
+				v := s.Features.Get(uint32(f))
+				if v < 0 || v > 1 {
+					t.Fatalf("normalized feature %d = %v outside [0,1]", f, v)
+				}
+				if v < 0.01 {
+					sawLow = true
+				}
+				if v > 0.5 {
+					sawHigh = true
+				}
+			}
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatalf("normalization did not spread values: low=%v high=%v", sawLow, sawHigh)
+	}
+}
+
+func TestNormalizeMinMaxNoNumeric(t *testing.T) {
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	if err := NormalizeMinMax(store, &clk, "none", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeRejectsRatingBatches(t *testing.T) {
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	ds := GenerateMovieLens(smallMovieLens())
+	n := Stage(ds, store, &clk, "ml", 100, 1)
+	if err := NormalizeMinMax(store, &clk, "ml", n, 13); err == nil {
+		t.Fatal("rating batches accepted by feature normalization")
+	}
+}
+
+func TestCriteoAttainableLoss(t *testing.T) {
+	// The ground-truth model itself must achieve BCE well under the
+	// paper's 0.58 convergence threshold, otherwise the Fig 4/5/6
+	// experiments could never converge. We verify by scoring with a
+	// Bayes-ish proxy: predicted probability from sample frequency of
+	// labels conditioned on the ground-truth construction is unavailable,
+	// so instead check label entropy is meaningfully below 1 bit by
+	// training-free margin: fraction of agreement between label and
+	// majority class must be < 0.95 (non-degenerate) and the dataset must
+	// be separable enough that duplicated feature vectors are rare.
+	ds := GenerateCriteo(smallCriteo())
+	ones := 0
+	for _, s := range ds.Samples {
+		if s.Label == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(ds.Len())
+	base := math.Min(frac, 1-frac)
+	// Base-rate BCE of always predicting the majority prior.
+	p := 1 - base
+	bce := -(p*math.Log(p) + base*math.Log(base))
+	if bce < 0.3 {
+		t.Fatalf("dataset nearly constant-label (prior BCE %v); threshold experiments would be vacuous", bce)
+	}
+}
+
+func TestCacheChargesEveryFetch(t *testing.T) {
+	link := netmodel.Link{Latency: 10 * time.Millisecond, BandwidthBps: 1e6}
+	store := objstore.New(link)
+	var stage vclock.Clock
+	ds := GenerateMovieLens(smallMovieLens())
+	n := Stage(ds, store, &stage, "ml", 1000, 5)
+	if n < 2 {
+		t.Fatal("need at least 2 batches")
+	}
+	cache := NewCache(store, "ml")
+	var clk vclock.Clock
+	if _, err := cache.Fetch(&clk, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := clk.Now()
+	if _, err := cache.Fetch(&clk, 0); err != nil {
+		t.Fatal(err)
+	}
+	second := clk.Now() - first
+	// The cached fetch must charge the same transfer time: workers
+	// re-download each iteration even though the decode is cached.
+	if second != first {
+		t.Fatalf("cached fetch charged %v, first charged %v", second, first)
+	}
+}
+
+func TestCacheReturnsSameDecode(t *testing.T) {
+	store := objstore.New(netmodel.Link{})
+	var clk vclock.Clock
+	ds := GenerateMovieLens(smallMovieLens())
+	Stage(ds, store, &clk, "ml", 1000, 5)
+	cache := NewCache(store, "ml")
+	a, err := cache.Fetch(&clk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Fetch(&clk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("cache re-decoded the batch")
+	}
+}
+
+func TestCacheMissingBatch(t *testing.T) {
+	cache := NewCache(objstore.New(netmodel.Link{}), "none")
+	var clk vclock.Clock
+	if _, err := cache.Fetch(&clk, 3); err == nil {
+		t.Fatal("missing batch fetched")
+	}
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"mlless/internal/objstore"
+	"mlless/internal/vclock"
+)
+
+// NormalizeMinMax rescales the numeric features (coordinates
+// [0, numericFeatures)) of every staged mini-batch in bucket to [0, 1]
+// using min-max scaling. Following §3.2, it is implemented as two chained
+// map-reduce jobs over the object store, exactly how the paper prepares
+// the Criteo dataset with PyWren-IBM:
+//
+//	job 1: map over batches extracting per-feature (min, max),
+//	       reduce by combining extrema;
+//	job 2: map over batches applying the scaling, writing each scaled
+//	       batch back.
+//
+// All intermediate I/O is charged to clk via the object store's link, as
+// a serverless map-reduce would pay it.
+func NormalizeMinMax(store *objstore.Store, clk *vclock.Clock, bucket string, numBatches, numericFeatures int) error {
+	if numericFeatures <= 0 {
+		return nil
+	}
+	mins := make([]float64, numericFeatures)
+	maxs := make([]float64, numericFeatures)
+	for f := range mins {
+		mins[f] = math.Inf(1)
+		maxs[f] = math.Inf(-1)
+	}
+
+	// Job 1 (map + reduce): per-feature extrema.
+	for i := 0; i < numBatches; i++ {
+		batch, err := FetchBatch(store, clk, bucket, i)
+		if err != nil {
+			return fmt.Errorf("dataset: normalize pass 1: %w", err)
+		}
+		for _, s := range batch {
+			if s.Features == nil {
+				return fmt.Errorf("dataset: normalize: batch %d holds non-feature samples", i)
+			}
+			for f := 0; f < numericFeatures; f++ {
+				v := s.Features.Get(uint32(f))
+				if v < mins[f] {
+					mins[f] = v
+				}
+				if v > maxs[f] {
+					maxs[f] = v
+				}
+			}
+		}
+	}
+
+	// Job 2 (map): apply the scaling and rewrite each batch.
+	for i := 0; i < numBatches; i++ {
+		batch, err := FetchBatch(store, clk, bucket, i)
+		if err != nil {
+			return fmt.Errorf("dataset: normalize pass 2: %w", err)
+		}
+		for _, s := range batch {
+			for f := 0; f < numericFeatures; f++ {
+				span := maxs[f] - mins[f]
+				if span <= 0 {
+					s.Features.Set(uint32(f), 0)
+					continue
+				}
+				v := s.Features.Get(uint32(f))
+				s.Features.Set(uint32(f), (v-mins[f])/span)
+			}
+		}
+		store.Put(clk, bucket, batchKey(i), EncodeBatch(batch))
+	}
+	return nil
+}

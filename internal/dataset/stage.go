@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"mlless/internal/objstore"
+	"mlless/internal/vclock"
+	"mlless/internal/xrand"
+)
+
+// BatchKey names staged mini-batch object i. Zero-padded so List order
+// equals numeric order.
+func BatchKey(i int) string { return fmt.Sprintf("batch/%08d", i) }
+
+// batchKey is the internal alias.
+func batchKey(i int) string { return BatchKey(i) }
+
+// Stage shuffles the dataset deterministically (seed) into mini-batches
+// of size batchSize and uploads them to bucket in the object store,
+// charging the transfers to clk. It returns the number of staged batches.
+// This is the role PyWren-IBM plays in §3.2: putting the dataset into COS
+// in "the appropriate format".
+func Stage(ds *Dataset, store *objstore.Store, clk *vclock.Clock, bucket string, batchSize int, seed uint64) int {
+	rng := xrand.New(seed)
+	order := rng.Perm(ds.Len())
+	shuffled := make([]Sample, ds.Len())
+	for i, j := range order {
+		shuffled[i] = ds.Samples[j]
+	}
+	tmp := Dataset{Samples: shuffled}
+	batches := tmp.Split(batchSize)
+	for i, b := range batches {
+		store.Put(clk, bucket, batchKey(i), EncodeBatch(b))
+	}
+	return len(batches)
+}
+
+// FetchBatch downloads and decodes staged mini-batch i from bucket.
+func FetchBatch(store *objstore.Store, clk *vclock.Clock, bucket string, i int) ([]Sample, error) {
+	buf, err := store.Get(clk, bucket, batchKey(i))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
+	}
+	batch, err := DecodeBatch(buf)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
+	}
+	return batch, nil
+}
+
+// Cache is a decoded-mini-batch cache over one staged bucket. Every
+// Fetch still performs (and charges) the full object-store transfer —
+// workers re-download batches each iteration exactly as in the paper —
+// but the CPU-side decode, which is simulator overhead rather than
+// modeled time, happens once per batch. The returned slices are shared:
+// callers must treat batches as read-only.
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	store  *objstore.Store
+	bucket string
+
+	mu sync.Mutex
+	m  map[int][]Sample
+}
+
+// NewCache returns a cache over the staged batches of bucket.
+func NewCache(store *objstore.Store, bucket string) *Cache {
+	return &Cache{store: store, bucket: bucket, m: make(map[int][]Sample)}
+}
+
+// Fetch charges the transfer of batch i to clk and returns its decoded
+// (possibly cached) samples.
+func (c *Cache) Fetch(clk *vclock.Clock, i int) ([]Sample, error) {
+	buf, err := c.store.Get(clk, c.bucket, batchKey(i))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
+	}
+	c.mu.Lock()
+	batch, ok := c.m[i]
+	c.mu.Unlock()
+	if ok {
+		return batch, nil
+	}
+	batch, err = DecodeBatch(buf)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
+	}
+	c.mu.Lock()
+	c.m[i] = batch
+	c.mu.Unlock()
+	return batch, nil
+}
+
+// Plan deterministically assigns staged batch indices to (worker, step)
+// pairs. Each worker walks its own arithmetic progression through the
+// shuffled batches, wrapping around — an epoch-free infinite stream, as
+// serverless workers fetch "a mini-batch from IBM COS" each iteration
+// (§3.2).
+type Plan struct {
+	numBatches int
+	numWorkers int
+}
+
+// NewPlan builds a batch plan over numBatches staged batches for
+// numWorkers workers.
+func NewPlan(numBatches, numWorkers int) Plan {
+	return Plan{numBatches: numBatches, numWorkers: numWorkers}
+}
+
+// BatchFor returns the staged batch index worker w consumes at step t.
+// Workers at the same step always consume distinct batches (as long as
+// there are at least numWorkers batches), which is what makes the global
+// batch size P·B (§3.2, weak scaling).
+func (p Plan) BatchFor(worker, step int) int {
+	if p.numBatches == 0 {
+		return 0
+	}
+	return (step*p.numWorkers + worker) % p.numBatches
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cloud: each Fig*/Table* function
+// builds the workload, runs the systems, and returns a printable Table
+// whose rows correspond to the points of the original plot. DESIGN.md
+// carries the experiment index; EXPERIMENTS.md records paper-vs-measured.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not IBM Cloud); the reproduced quantity is the shape — who
+// wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig4", "table3", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds formatted cells.
+	Rows [][]string
+	// Notes carry caveats (calibration, substitutions).
+	Notes []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			} else {
+				sb.WriteString(c + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		widths[i] = w
+		sb.WriteString(strings.Repeat("-", w) + "  ")
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first) for external
+// plotting tools.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	// Writes to a strings.Builder cannot fail.
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks datasets, worker counts and sweeps so the whole
+	// suite runs in seconds (used by `go test -bench` and CI); the full
+	// configuration reproduces the paper's settings at simulator scale.
+	Quick bool
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (Table, error)
+
+// Registry maps experiment IDs to runners, in evaluation-section order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig2a", Fig2a},
+		{"fig2b", Fig2b},
+		{"fig2c", Fig2c},
+		{"fig2d", Fig2d},
+		{"fig3", Fig3},
+		{"table1", Table1},
+		{"table2", Table2},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"table3", Table3},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		// Ablations beyond the paper's figures (see DESIGN.md §3).
+		{"abl-filter", AblFilter},
+		{"abl-knee", AblKnee},
+		{"abl-merge", AblMerge},
+		{"abl-allreduce", AblAllReduce},
+		{"abl-startup", AblStartup},
+		{"abl-ssp", AblSSP},
+	}
+}
+
+// Lookup returns the runner for id (case-insensitive), or false.
+func Lookup(id string) (Runner, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists the registered experiment identifiers in order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// sortedKeys returns map keys in ascending order (generic over ints).
+func sortedKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mlless/internal/baseline/pywren"
+	"mlless/internal/baseline/serverful"
+	"mlless/internal/consistency"
+	"mlless/internal/core"
+	"mlless/internal/sched"
+)
+
+// systemNames in presentation order, as in Fig 6's legend.
+var systemNames = []string{"pytorch", "pywren-ibm", "mlless", "mlless+isp", "mlless+all"}
+
+// runKey memoizes system executions shared between Fig 6 and Fig 7.
+type runKey struct {
+	workload string
+	system   string
+	workers  int
+}
+
+var (
+	runMu    sync.Mutex
+	runCache = map[runKey]*core.Result{}
+)
+
+// runSystem executes one system on one workload until the deep
+// ("prudent") convergence threshold, memoizing the result.
+func runSystem(wl *Workload, system string, workers int, quick bool) (*core.Result, error) {
+	key := runKey{wl.Name, system, workers}
+	runMu.Lock()
+	if res, ok := runCache[key]; ok {
+		runMu.Unlock()
+		return res, nil
+	}
+	runMu.Unlock()
+
+	cl, job := wl.Make(workers)
+	job.Spec.TargetLoss = wl.PrudentLoss
+	job.Spec.MaxSteps = 4000
+	if quick {
+		job.Spec.MaxSteps = 800
+	}
+
+	var res *core.Result
+	var err error
+	switch system {
+	case "pytorch":
+		res, err = serverful.Train(cl.COS, job, serverful.DefaultConfig())
+	case "pywren-ibm":
+		res, err = pywren.Train(cl.Platform, cl.COS, job, pywren.DefaultConfig())
+	case "mlless":
+		job.Spec.Sync = consistency.BSP
+		res, err = core.Run(cl, job)
+	case "mlless+isp":
+		job.Spec.Sync = consistency.ISP
+		job.Spec.Significance = wl.V
+		res, err = core.Run(cl, job)
+	case "mlless+all":
+		job.Spec.Sync = consistency.ISP
+		job.Spec.Significance = wl.V
+		job.Spec.AutoTune = true
+		// Epoch scaled to the ~10x shorter simulated jobs (see Fig 5).
+		job.Spec.Sched = sched.Config{Epoch: 5 * time.Second}
+		if quick {
+			job.Spec.Sched = sched.Config{Epoch: 2 * time.Second}
+		}
+		res, err = core.Run(cl, job)
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", system)
+	}
+	if err != nil {
+		return nil, err
+	}
+	runMu.Lock()
+	runCache[key] = res
+	runMu.Unlock()
+	return res, nil
+}
+
+// Fig6Workloads returns the workloads and worker count of the system
+// comparison (paper: P = 24; "the trends were similar for 12 workers").
+// Exported so callers can request Fig6Series for each.
+func Fig6Workloads(opts Options) ([]*Workload, int) {
+	if opts.Quick {
+		return []*Workload{PMF10M(true)}, 8
+	}
+	return []*Workload{LRCriteo(false), PMF10M(false), PMF20M(false)}, 24
+}
+
+// fig6Workloads is the internal alias.
+func fig6Workloads(opts Options) ([]*Workload, int) { return Fig6Workloads(opts) }
+
+// Fig6 reproduces Fig 6: loss-vs-time comparison of PyTorch, PyWren-IBM
+// and the three MLLess variants. The paper's headline: MLLess reaches
+// the prudent loss ≈14.5-15.7x faster than PyTorch on the PMF jobs, and
+// PyWren-IBM is "very inefficient in all jobs".
+func Fig6(opts Options) (Table, error) {
+	workloads, workers := fig6Workloads(opts)
+	t := Table{
+		ID:    "fig6",
+		Title: "Loss vs time: PyTorch vs PyWren-IBM vs MLLess variants",
+		Header: []string{"workload", "system", "time-to-target", "time-to-prudent",
+			"speedup-vs-pytorch", "steps", "final-loss"},
+		Notes: []string{
+			"target = the Fig 4/5 convergence threshold; prudent = the deep threshold of §6.2",
+			"paper: MLLess+All ≈ 14.5x (ML-10M) and 15.7x (ML-20M) faster than PyTorch to the prudent loss",
+		},
+	}
+	for _, wl := range workloads {
+		var pytorchPrudent time.Duration
+		for _, system := range systemNames {
+			res, err := runSystem(wl, system, workers, opts.Quick)
+			if err != nil {
+				return Table{}, fmt.Errorf("fig6 (%s/%s): %w", wl.Name, system, err)
+			}
+			target, targetOK := res.TimeToLoss(wl.TargetLoss)
+			prudent, prudentOK := res.TimeToLoss(wl.PrudentLoss)
+			if system == "pytorch" && prudentOK {
+				pytorchPrudent = prudent
+			}
+			speedup := "-"
+			if system != "pytorch" && prudentOK && pytorchPrudent > 0 {
+				speedup = fmt.Sprintf("%.2fx", pytorchPrudent.Seconds()/prudent.Seconds())
+			}
+			fmtTime := func(d time.Duration, ok bool) string {
+				if !ok {
+					return "n/a"
+				}
+				return d.Round(time.Millisecond).String()
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.Name, system,
+				fmtTime(target, targetOK),
+				fmtTime(prudent, prudentOK),
+				speedup,
+				fmt.Sprintf("%d", res.Steps),
+				fmt.Sprintf("%.4f", res.FinalLoss),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig6Series returns the loss-vs-time trace of every system for one
+// workload, sampled at n evenly spaced virtual times — the raw series
+// behind Fig 6, for plotting.
+func Fig6Series(opts Options, wl *Workload, n int) (Table, error) {
+	_, workers := fig6Workloads(opts)
+	results := make(map[string]*core.Result, len(systemNames))
+	var longest time.Duration
+	for _, system := range systemNames {
+		res, err := runSystem(wl, system, workers, opts.Quick)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig6 series (%s/%s): %w", wl.Name, system, err)
+		}
+		results[system] = res
+		if res.ExecTime > longest {
+			longest = res.ExecTime
+		}
+	}
+	t := Table{
+		ID:     "fig6-series",
+		Title:  fmt.Sprintf("Loss vs time series, %s (P=%d)", wl.Name, workers),
+		Header: append([]string{"time"}, systemNames...),
+	}
+	for i := 1; i <= n; i++ {
+		at := longest * time.Duration(i) / time.Duration(n)
+		row := []string{at.Round(time.Millisecond).String()}
+		for _, system := range systemNames {
+			loss, ok := results[system].LossAtTime(at)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.4f", loss))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,259 @@
+// Package faas simulates the Function-as-a-Service platform (IBM Cloud
+// Functions in the paper) on which MLLess workers and the supervisor run.
+// It enforces the FaaS constraints that shape the whole system design
+// (§2):
+//
+//   - functions are stateless and cannot communicate directly — the
+//     package intentionally offers no function-to-function channel;
+//   - at most 2 GB of memory per function and a hard 10-minute execution
+//     limit;
+//   - CPU is allocated proportionally to memory, topping out at one vCPU
+//     at 2 GB — there is no intra-worker thread parallelism (§5, Fig 3);
+//   - invocations pay a cold-start penalty unless a warm container is
+//     available;
+//   - billing is pay-per-use, per GB-second of execution.
+//
+// Each Instance carries its own virtual clock; the training engine
+// charges compute and I/O time to it and reconciles clocks at BSP
+// barriers.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlless/internal/cost"
+	"mlless/internal/vclock"
+)
+
+// Platform-wide limits, matching IBM Cloud Functions.
+const (
+	// MaxMemoryMiB is the largest function size the platform allows.
+	MaxMemoryMiB = 2048
+	// fullCPUMemoryMiB is the memory size at which a function gets one
+	// full vCPU.
+	fullCPUMemoryMiB = 2048
+)
+
+// ErrOverLimit reports that a function exceeded the maximum execution
+// duration. The supervisor could checkpoint and re-launch (§3.1); the
+// experiments in the paper never needed it, so the engine surfaces the
+// error instead.
+var ErrOverLimit = errors.New("faas: function exceeded maximum execution duration")
+
+// ErrTooMuchMemory reports an invocation requesting more memory than the
+// platform allows.
+var ErrTooMuchMemory = errors.New("faas: requested memory exceeds platform maximum")
+
+// ErrTerminated reports an operation on an already-terminated instance.
+var ErrTerminated = errors.New("faas: instance already terminated")
+
+// ErrTooManyConcurrent reports that the per-namespace concurrent
+// activation limit is exhausted.
+var ErrTooManyConcurrent = errors.New("faas: concurrent activation limit reached")
+
+// Config parameterizes the platform.
+type Config struct {
+	// ColdStart is the invocation latency with no warm container.
+	ColdStart time.Duration
+	// WarmStart is the invocation latency when a warm container exists.
+	WarmStart time.Duration
+	// MaxDuration is the hard per-invocation execution limit.
+	MaxDuration time.Duration
+	// MaxConcurrent caps simultaneously running activations per
+	// namespace (IBM's default limit is 1000). 0 disables the cap.
+	MaxConcurrent int
+}
+
+// DefaultConfig matches IBM Cloud Functions as described in §2: 10-minute
+// limit, cold starts of around half a second, 1000 concurrent
+// activations.
+func DefaultConfig() Config {
+	return Config{
+		ColdStart:     500 * time.Millisecond,
+		WarmStart:     25 * time.Millisecond,
+		MaxDuration:   10 * time.Minute,
+		MaxConcurrent: 1000,
+	}
+}
+
+// Metrics aggregates platform activity.
+type Metrics struct {
+	Invocations int64
+	ColdStarts  int64
+	WarmStarts  int64
+	Terminated  int64
+}
+
+// Platform is a simulated FaaS provider. It is safe for concurrent use.
+type Platform struct {
+	cfg Config
+
+	mu       sync.Mutex
+	nextID   int
+	running  map[int]*Instance
+	billed   []billedRun
+	warmPool int
+	metrics  Metrics
+}
+
+type billedRun struct {
+	name     string
+	duration time.Duration
+	memGiB   float64
+}
+
+// NewPlatform returns a platform with the given configuration.
+func NewPlatform(cfg Config) *Platform {
+	return &Platform{cfg: cfg, running: make(map[int]*Instance)}
+}
+
+// Instance is one running function invocation. Its Clock is owned by the
+// goroutine executing the function body; Platform methods only read it at
+// termination.
+type Instance struct {
+	// ID uniquely identifies the invocation within the platform.
+	ID int
+	// Name labels the function for billing ("worker-3", "supervisor").
+	Name string
+	// MemoryMiB is the allocated memory.
+	MemoryMiB int
+	// Clock is the instance's virtual clock. It starts at the invocation
+	// time plus the start latency.
+	Clock vclock.Clock
+
+	startAt    time.Duration
+	terminated bool
+}
+
+// Invoke launches a function of memoryMiB at virtual time at. The first
+// invocation (and any invocation beyond the warm pool) pays the
+// cold-start latency; containers freed by Terminate keep a warm slot.
+func (p *Platform) Invoke(name string, memoryMiB int, at time.Duration) (*Instance, error) {
+	if memoryMiB <= 0 || memoryMiB > MaxMemoryMiB {
+		return nil, fmt.Errorf("invoke %s with %d MiB: %w", name, memoryMiB, ErrTooMuchMemory)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if p.cfg.MaxConcurrent > 0 && len(p.running) >= p.cfg.MaxConcurrent {
+		return nil, fmt.Errorf("invoke %s (%d running): %w", name, len(p.running), ErrTooManyConcurrent)
+	}
+
+	start := p.cfg.ColdStart
+	if p.warmPool > 0 {
+		p.warmPool--
+		start = p.cfg.WarmStart
+		p.metrics.WarmStarts++
+	} else {
+		p.metrics.ColdStarts++
+	}
+	p.metrics.Invocations++
+
+	inst := &Instance{
+		ID:        p.nextID,
+		Name:      name,
+		MemoryMiB: memoryMiB,
+		startAt:   at,
+	}
+	p.nextID++
+	inst.Clock.AdvanceTo(at + start)
+	p.running[inst.ID] = inst
+	return inst, nil
+}
+
+// Terminate ends an invocation, bills its elapsed time, and returns the
+// container to the warm pool. Terminating twice is an error.
+func (p *Platform) Terminate(inst *Instance) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if inst.terminated {
+		return fmt.Errorf("terminate %s (id %d): %w", inst.Name, inst.ID, ErrTerminated)
+	}
+	inst.terminated = true
+	delete(p.running, inst.ID)
+	p.warmPool++
+	p.metrics.Terminated++
+	p.billed = append(p.billed, billedRun{
+		name:     inst.Name,
+		duration: inst.Elapsed(),
+		memGiB:   float64(inst.MemoryMiB) / 1024,
+	})
+	return nil
+}
+
+// Running reports the number of live instances.
+func (p *Platform) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.running)
+}
+
+// Metrics returns a snapshot of the platform counters.
+func (p *Platform) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// BillTo adds every terminated invocation to the meter. Live instances
+// are not billed; terminate them first.
+func (p *Platform) BillTo(m *cost.Meter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, run := range p.billed {
+		m.AddFunction(run.name, run.duration, run.memGiB)
+	}
+}
+
+// BilledFunctionSeconds sums the billed execution time of all terminated
+// invocations, weighted by nothing (plain seconds).
+func (p *Platform) BilledFunctionSeconds() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total time.Duration
+	for _, run := range p.billed {
+		total += run.duration
+	}
+	return total
+}
+
+// CPUShare returns the fraction of one vCPU available to the instance:
+// memory-proportional, capped at 1.0 (IBM gives a 2 GB function the
+// equivalent of one vCPU, §5).
+func (inst *Instance) CPUShare() float64 {
+	share := float64(inst.MemoryMiB) / fullCPUMemoryMiB
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// Threads reports the usable degree of thread parallelism inside the
+// function: always 1 on this platform regardless of memory, which is the
+// observation of Fig 3 (no worthwhile intra-worker data parallelism).
+func (inst *Instance) Threads() int { return 1 }
+
+// Elapsed returns how long the invocation has executed (virtual).
+func (inst *Instance) Elapsed() time.Duration {
+	return inst.Clock.Now() - inst.startAt
+}
+
+// CheckLimit returns ErrOverLimit when the invocation has outlived the
+// platform's execution cap.
+func (inst *Instance) CheckLimit(cfg Config) error {
+	if cfg.MaxDuration > 0 && inst.Elapsed() > cfg.MaxDuration {
+		return fmt.Errorf("%s (id %d) ran %v: %w", inst.Name, inst.ID, inst.Elapsed(), ErrOverLimit)
+	}
+	return nil
+}
+
+// StartedAt returns the invocation's launch time.
+func (inst *Instance) StartedAt() time.Duration { return inst.startAt }

@@ -1,0 +1,219 @@
+package faas
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mlless/internal/cost"
+)
+
+func TestInvokeColdThenWarm(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	inst, err := p.Invoke("w0", 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Clock.Now() != DefaultConfig().ColdStart {
+		t.Fatalf("first invocation start latency %v", inst.Clock.Now())
+	}
+	if err := p.Terminate(inst); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Invoke("w1", 2048, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Clock.Now(); got != time.Second+DefaultConfig().WarmStart {
+		t.Fatalf("warm invocation clock %v", got)
+	}
+	m := p.Metrics()
+	if m.ColdStarts != 1 || m.WarmStarts != 1 || m.Invocations != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	if _, err := p.Invoke("big", 4096, 0); !errors.Is(err, ErrTooMuchMemory) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Invoke("neg", 0, 0); !errors.Is(err, ErrTooMuchMemory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCPUShare(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	cases := []struct {
+		mem  int
+		want float64
+	}{
+		{2048, 1.0},
+		{1024, 0.5},
+		{512, 0.25},
+		{256, 0.125},
+	}
+	for _, c := range cases {
+		inst, err := p.Invoke("w", c.mem, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := inst.CPUShare(); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("CPUShare(%d MiB) = %v, want %v", c.mem, got, c.want)
+		}
+		if inst.Threads() != 1 {
+			t.Fatal("FaaS functions must not expose thread parallelism")
+		}
+	}
+}
+
+func TestElapsedAndLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	p := NewPlatform(cfg)
+	inst, _ := p.Invoke("w", 2048, time.Minute)
+	base := inst.Elapsed()
+	inst.Clock.Advance(5 * time.Minute)
+	if inst.Elapsed() != base+5*time.Minute {
+		t.Fatalf("Elapsed = %v", inst.Elapsed())
+	}
+	if err := inst.CheckLimit(cfg); err != nil {
+		t.Fatalf("under-limit instance errored: %v", err)
+	}
+	inst.Clock.Advance(6 * time.Minute)
+	if err := inst.CheckLimit(cfg); !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("over-limit err = %v", err)
+	}
+}
+
+func TestTerminateTwice(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	inst, _ := p.Invoke("w", 2048, 0)
+	if err := p.Terminate(inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Terminate(inst); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("double terminate err = %v", err)
+	}
+}
+
+func TestRunningCount(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	a, _ := p.Invoke("a", 2048, 0)
+	b, _ := p.Invoke("b", 2048, 0)
+	if p.Running() != 2 {
+		t.Fatalf("Running = %d", p.Running())
+	}
+	_ = p.Terminate(a)
+	if p.Running() != 1 {
+		t.Fatalf("Running = %d", p.Running())
+	}
+	_ = p.Terminate(b)
+	if p.Running() != 0 {
+		t.Fatalf("Running = %d", p.Running())
+	}
+}
+
+func TestBilling(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	inst, _ := p.Invoke("worker-0", 2048, 0)
+	inst.Clock.Advance(100 * time.Second)
+	_ = p.Terminate(inst)
+
+	var m cost.Meter
+	p.BillTo(&m)
+	billed := inst.Elapsed().Seconds()
+	want := cost.PriceFunctionPerGBSecond * 2 * billed
+	if math.Abs(m.Total()-want) > 1e-9 {
+		t.Fatalf("billed %v, want %v", m.Total(), want)
+	}
+	if p.BilledFunctionSeconds() != inst.Elapsed() {
+		t.Fatalf("BilledFunctionSeconds = %v", p.BilledFunctionSeconds())
+	}
+}
+
+func TestLiveInstancesNotBilled(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	inst, _ := p.Invoke("w", 2048, 0)
+	inst.Clock.Advance(time.Hour)
+	var m cost.Meter
+	p.BillTo(&m)
+	if m.Total() != 0 {
+		t.Fatal("live instance was billed")
+	}
+}
+
+func TestHalfMemoryBilledAtHalfRate(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	full, _ := p.Invoke("full", 2048, 0)
+	half, _ := p.Invoke("half", 1024, 0)
+	full.Clock.Advance(100 * time.Second)
+	half.Clock.Advance(100 * time.Second)
+	_ = p.Terminate(full)
+	_ = p.Terminate(half)
+	var m cost.Meter
+	p.BillTo(&m)
+	r := m.Report()
+	var fullCost, halfCost float64
+	for _, c := range r.Components {
+		switch c.Name {
+		case "full":
+			fullCost = c.Dollars
+		case "half":
+			halfCost = c.Dollars
+		}
+	}
+	if math.Abs(fullCost-2*halfCost) > 1e-9 {
+		t.Fatalf("full=%v half=%v", fullCost, halfCost)
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	seen := make(map[int]bool)
+	for i := 0; i < 50; i++ {
+		inst, err := p.Invoke("w", 2048, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[inst.ID] {
+			t.Fatalf("duplicate ID %d", inst.ID)
+		}
+		seen[inst.ID] = true
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 2
+	p := NewPlatform(cfg)
+	a, err := p.Invoke("a", 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("b", 2048, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("c", 2048, 0); !errors.Is(err, ErrTooManyConcurrent) {
+		t.Fatalf("third invocation: err = %v", err)
+	}
+	// Terminating frees a slot.
+	if err := p.Terminate(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("c", 2048, 0); err != nil {
+		t.Fatalf("after terminate: %v", err)
+	}
+}
+
+func TestConcurrencyUnlimitedWhenZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 0
+	p := NewPlatform(cfg)
+	for i := 0; i < 1200; i++ {
+		if _, err := p.Invoke("w", 256, 0); err != nil {
+			t.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+}

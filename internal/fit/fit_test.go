@@ -1,0 +1,356 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlless/internal/xrand"
+)
+
+func TestEWMAFirstValuePassesThrough(t *testing.T) {
+	e := NewEWMA(0.2)
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first Update = %v", got)
+	}
+}
+
+func TestEWMASmooths(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(0)
+	if got := e.Update(10); got != 5 {
+		t.Fatalf("Update = %v, want 5", got)
+	}
+	if e.Value() != 5 {
+		t.Fatalf("Value = %v", e.Value())
+	}
+}
+
+func TestEWMAAlphaOneIsIdentity(t *testing.T) {
+	e := NewEWMA(1)
+	for _, x := range []float64{3, -7, 100} {
+		if got := e.Update(x); got != x {
+			t.Fatalf("alpha=1 Update(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestEWMAInvalidAlphaFallsBack(t *testing.T) {
+	for _, a := range []float64{0, -1, 2} {
+		e := NewEWMA(a)
+		e.Update(1)
+		if got := e.Update(9); got != 9 {
+			t.Fatalf("alpha=%v did not fall back to identity: %v", a, got)
+		}
+	}
+}
+
+func TestEWMADampensOutlier(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 20; i++ {
+		e.Update(1)
+	}
+	spiked := e.Update(100)
+	if spiked > 25 {
+		t.Fatalf("outlier passed through: %v", spiked)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.3)
+	e.Update(5)
+	e.Reset()
+	if e.Value() != 0 {
+		t.Fatal("Reset did not clear value")
+	}
+	if got := e.Update(7); got != 7 {
+		t.Fatal("Reset did not clear started flag")
+	}
+}
+
+func TestSmoothSeries(t *testing.T) {
+	out := Smooth(0.5, []float64{0, 10, 10})
+	want := []float64{0, 5, 7.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("Smooth = %v", out)
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	m := [][]float64{{2, 1}, {1, 3}}
+	y := []float64{5, 10}
+	x, err := solveLinear(m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	m := [][]float64{{1, 2}, {2, 4}}
+	if _, err := solveLinear(m, []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestNNLSMatchesUnconstrained(t *testing.T) {
+	// Least-squares solution of this system is strictly positive, so
+	// NNLS must reproduce it.
+	a := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	b := []float64{1, 2, 3.1}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal equations: x = (AᵀA)⁻¹Aᵀb.
+	want, err := solveLS(a, b, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("NNLS = %v, unconstrained = %v", x, want)
+		}
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// Fit y = c to increasing data with a negative-trend column: the
+	// coefficient that wants to be negative must be zeroed.
+	a := [][]float64{{1, -1}, {1, -2}, {1, -3}}
+	b := []float64{1, 2, 3}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v < 0", i, v)
+		}
+	}
+	// Column 1 has coefficient 0 ⇒ best constant fit is mean(b) = 2.
+	if x[1] != 0 || math.Abs(x[0]-2) > 1e-8 {
+		t.Fatalf("x = %v, want [2 0]", x)
+	}
+}
+
+func TestNNLSAlwaysNonNegativeProperty(t *testing.T) {
+	r := xrand.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		rr := xrand.New(seed ^ r.Uint64())
+		m, n := 5+rr.Intn(10), 1+rr.Intn(4)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rr.NormFloat64()
+			}
+			b[i] = rr.NormFloat64()
+		}
+		x, err := NNLS(a, b)
+		if err != nil {
+			return true // convergence failure is allowed, negativity is not
+		}
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNLSDimensionMismatch(t *testing.T) {
+	if _, err := NNLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := NNLS(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+func genCurve(c Curve, theta []float64, n int, noise float64, seed uint64) (ts, ys []float64) {
+	r := xrand.New(seed)
+	ts = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i + 1)
+		ts[i] = t
+		ys[i] = c.Eval(theta, t) + r.NormFloat64()*noise
+	}
+	return ts, ys
+}
+
+func TestFitReferenceCurveRecovers(t *testing.T) {
+	// Fig 2b's fitted values: θ = (0.05, 1.58, 0.58, 0.49).
+	truth := []float64{0.05, 1.58, 0.58, 0.49}
+	c := ReferenceCurve{}
+	ts, ys := genCurve(c, truth, 120, 0, 2)
+	fitted, err := FitCurve(c, ts, ys, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coefficients of this family are only weakly identified; judge the
+	// fit by prediction accuracy instead, including extrapolation.
+	for _, step := range []float64{10, 60, 120, 200, 320} {
+		pred := fitted.Eval(step)
+		want := c.Eval(truth, step)
+		if e := PredictionError(pred, want); e > 0.02 {
+			t.Fatalf("step %v: predicted %v, want %v (err %v)", step, pred, want, e)
+		}
+	}
+}
+
+func TestFitSlowCurveRecovers(t *testing.T) {
+	truth := []float64{1e-5, 4e-3, 0.9, 0.72}
+	c := SlowCurve{}
+	ts, ys := genCurve(c, truth, 150, 0, 3)
+	fitted, err := FitCurve(c, ts, ys, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []float64{20, 80, 150, 250} {
+		pred := fitted.Eval(step)
+		want := c.Eval(truth, step)
+		if e := PredictionError(pred, want); e > 0.02 {
+			t.Fatalf("step %v: predicted %v, want %v (err %v)", step, pred, want, e)
+		}
+	}
+}
+
+func TestFitToleratesNoise(t *testing.T) {
+	// Fig 2c reports prediction error < 1.5% up to 200 steps ahead; with
+	// modest noise and EWMA smoothing our fitter must stay in that
+	// ballpark when interpolating and extrapolating 2x beyond the data.
+	truth := []float64{0.05, 1.58, 0.58, 0.49}
+	c := ReferenceCurve{}
+	ts, raw := genCurve(c, truth, 150, 0.005, 4)
+	ys := Smooth(0.3, raw)
+	fitted, err := FitCurve(c, ts, ys, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []float64{100, 200, 300} {
+		e := PredictionError(fitted.Eval(step), c.Eval(truth, step))
+		if e > 0.03 {
+			t.Fatalf("step %v: relative error %v", step, e)
+		}
+	}
+}
+
+func TestFitCoefficientsNonNegative(t *testing.T) {
+	c := SlowCurve{}
+	ts, ys := genCurve(c, []float64{1e-5, 1e-3, 1.2, 0.7}, 80, 0.01, 5)
+	fitted, err := FitCurve(c, ts, ys, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fitted.Theta {
+		if v < 0 {
+			t.Fatalf("theta[%d] = %v < 0", i, v)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	c := ReferenceCurve{}
+	if _, err := FitCurve(c, []float64{1, 2}, []float64{1}, FitOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitCurve(c, []float64{1, 2, 3}, []float64{1, 2, 3}, FitOptions{}); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+}
+
+func TestCurvesMonotoneDecreasing(t *testing.T) {
+	// Learning curves with positive θ0 must decrease in t.
+	ref := ReferenceCurve{}
+	slow := SlowCurve{}
+	thetaRef := []float64{0.05, 1.2, 0.5, 0.4}
+	thetaSlow := []float64{1e-5, 1e-3, 0.5, 0.4}
+	for step := 1; step < 500; step++ {
+		if ref.Eval(thetaRef, float64(step+1)) > ref.Eval(thetaRef, float64(step)) {
+			t.Fatalf("reference curve increased at %d", step)
+		}
+		if slow.Eval(thetaSlow, float64(step+1)) > slow.Eval(thetaSlow, float64(step)) {
+			t.Fatalf("slow curve increased at %d", step)
+		}
+	}
+}
+
+func TestCurveDenominatorFloor(t *testing.T) {
+	// All-zero coefficients must not divide by zero.
+	for _, c := range []Curve{ReferenceCurve{}, SlowCurve{}} {
+		v := c.Eval([]float64{0, 0, 0, 0}, 10)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("%s: non-finite at zero theta", c.Name())
+		}
+	}
+}
+
+func TestPredictionError(t *testing.T) {
+	if got := PredictionError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("PredictionError = %v", got)
+	}
+	if got := PredictionError(0.5, 0); got != 0.5 {
+		t.Fatalf("zero-actual PredictionError = %v", got)
+	}
+}
+
+func BenchmarkFitReferenceCurve(b *testing.B) {
+	c := ReferenceCurve{}
+	ts, ys := genCurve(c, []float64{0.05, 1.58, 0.58, 0.49}, 150, 0.002, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitCurve(c, ts, ys, FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCurveNames(t *testing.T) {
+	if (ReferenceCurve{}).Name() != "reference" || (SlowCurve{}).Name() != "slow" {
+		t.Fatal("curve names wrong")
+	}
+}
+
+func TestNNLSWideAndDegenerate(t *testing.T) {
+	// All-zero target: x = 0 satisfies KKT immediately.
+	a := [][]float64{{1, 2}, {3, 4}}
+	x, err := NNLS(a, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("zero target gave x = %v", x)
+		}
+	}
+	// Duplicate columns: the active-set solver must not loop forever.
+	dup := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	if x, err := NNLS(dup, []float64{1, 1, 1}); err == nil {
+		for _, v := range x {
+			if v < 0 {
+				t.Fatalf("negative coefficient: %v", x)
+			}
+		}
+	}
+}
+
+func TestNNLSSingleColumn(t *testing.T) {
+	a := [][]float64{{1}, {2}, {3}}
+	x, err := NNLS(a, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 {
+		t.Fatalf("x = %v, want [2]", x)
+	}
+}

@@ -1,0 +1,161 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FitOptions tunes the projected Levenberg–Marquardt solver.
+type FitOptions struct {
+	// MaxIter caps outer iterations (default 200).
+	MaxIter int
+	// Tol stops when the relative SSE improvement falls below it
+	// (default 1e-12).
+	Tol float64
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// FitCurve fits curve c to the points (ts[i], ys[i]) by projected
+// Levenberg–Marquardt: after every accepted step the coefficients are
+// clamped to θ ≥ 0, matching the paper's non-negative coefficient
+// constraint on Eq. 2 and Eq. 3 (§4.2). It returns the fitted curve.
+func FitCurve(c Curve, ts, ys []float64, opts FitOptions) (Fitted, error) {
+	if len(ts) != len(ys) {
+		return Fitted{}, fmt.Errorf("fit: %d steps but %d losses", len(ts), len(ys))
+	}
+	if len(ts) < c.NumParams() {
+		return Fitted{}, fmt.Errorf("fit: %d points cannot determine %d parameters", len(ts), c.NumParams())
+	}
+	opts = opts.withDefaults()
+
+	theta := c.InitialGuess(ts, ys)
+	project(theta)
+	n := c.NumParams()
+	m := len(ts)
+
+	sse := func(th []float64) float64 {
+		s := 0.0
+		for i := range ts {
+			r := c.Eval(th, ts[i]) - ys[i]
+			s += r * r
+		}
+		return s
+	}
+
+	lambda := 1e-3
+	cur := sse(theta)
+	jac := make([][]float64, m)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	residual := make([]float64, m)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Residuals and numeric Jacobian (central differences).
+		for i := range ts {
+			residual[i] = c.Eval(theta, ts[i]) - ys[i]
+		}
+		for j := 0; j < n; j++ {
+			h := 1e-6 * (math.Abs(theta[j]) + 1e-6)
+			up := append([]float64(nil), theta...)
+			dn := append([]float64(nil), theta...)
+			up[j] += h
+			dn[j] -= h
+			project(dn)
+			for i := range ts {
+				jac[i][j] = (c.Eval(up, ts[i]) - c.Eval(dn, ts[i])) / (up[j] - dn[j])
+			}
+		}
+
+		// Normal equations with LM damping:
+		// (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr
+		jtj := make([][]float64, n)
+		jtr := make([]float64, n)
+		for a := 0; a < n; a++ {
+			jtj[a] = make([]float64, n)
+			for b := 0; b < n; b++ {
+				s := 0.0
+				for i := 0; i < m; i++ {
+					s += jac[i][a] * jac[i][b]
+				}
+				jtj[a][b] = s
+			}
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += jac[i][a] * residual[i]
+			}
+			jtr[a] = -s
+		}
+
+		improved := false
+		for try := 0; try < 12; try++ {
+			damped := make([][]float64, n)
+			for a := 0; a < n; a++ {
+				damped[a] = append([]float64(nil), jtj[a]...)
+				d := jtj[a][a] * lambda
+				if d == 0 {
+					d = lambda * 1e-9
+				}
+				damped[a][a] += d
+			}
+			delta, err := solveLinear(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			cand := make([]float64, n)
+			for j := range cand {
+				cand[j] = theta[j] + delta[j]
+			}
+			project(cand)
+			if s := sse(cand); s < cur {
+				rel := (cur - s) / (cur + 1e-300)
+				theta, cur = cand, s
+				lambda = math.Max(lambda/3, 1e-12)
+				improved = true
+				if rel < opts.Tol {
+					return Fitted{Curve: c, Theta: theta}, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break // converged to a (projected) local minimum
+		}
+	}
+	if math.IsNaN(cur) || math.IsInf(cur, 0) {
+		return Fitted{}, errors.New("fit: diverged to non-finite SSE")
+	}
+	return Fitted{Curve: c, Theta: theta}, nil
+}
+
+// project clamps coefficients to the non-negative orthant in place.
+func project(theta []float64) {
+	for i, v := range theta {
+		if v < 0 || math.IsNaN(v) {
+			theta[i] = 0
+		}
+	}
+}
+
+// PredictionError returns |predicted − actual| / |actual|, the relative
+// error metric of Fig 2c/2d. A zero actual value yields the absolute
+// error instead.
+func PredictionError(predicted, actual float64) float64 {
+	d := math.Abs(predicted - actual)
+	if actual == 0 {
+		return d
+	}
+	return d / math.Abs(actual)
+}

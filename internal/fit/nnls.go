@@ -1,0 +1,205 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular linear system.
+var ErrSingular = errors.New("fit: singular system")
+
+// ErrNoConverge reports that an iterative solver hit its iteration cap.
+var ErrNoConverge = errors.New("fit: did not converge")
+
+// solveLS solves the dense least-squares problem min ‖Ax − b‖₂ for the
+// column subset cols of A via the normal equations with partial
+// pivoting. A is row-major with m rows; small systems only (the curve
+// fits have ≤ 4 parameters).
+func solveLS(a [][]float64, b []float64, cols []int) ([]float64, error) {
+	n := len(cols)
+	// Form AᵀA (restricted) and Aᵀb.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ata[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for r := range a {
+				s += a[r][cols[i]] * a[r][cols[j]]
+			}
+			ata[i][j] = s
+		}
+		s := 0.0
+		for r := range a {
+			s += a[r][cols[i]] * b[r]
+		}
+		atb[i] = s
+	}
+	x, err := solveLinear(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveLinear solves the square system Mx = y by Gaussian elimination
+// with partial pivoting, mutating copies of its inputs.
+func solveLinear(m [][]float64, y []float64) ([]float64, error) {
+	n := len(y)
+	// Copy.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		copy(a[i], m[i])
+	}
+	b := make([]float64, n)
+	copy(b, y)
+
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("column %d: %w", col, ErrSingular)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// NNLS solves min ‖Ax − b‖₂ subject to x ≥ 0 with the Lawson–Hanson
+// active-set algorithm. A is row-major (len(A) rows × len(A[0]) cols).
+func NNLS(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 {
+		return nil, errors.New("fit: NNLS with no rows")
+	}
+	m, n := len(a), len(a[0])
+	if len(b) != m {
+		return nil, fmt.Errorf("fit: NNLS dimension mismatch: %d rows, %d targets", m, len(b))
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n)
+
+	residual := func() []float64 {
+		r := make([]float64, m)
+		for i := 0; i < m; i++ {
+			s := b[i]
+			for j := 0; j < n; j++ {
+				s -= a[i][j] * x[j]
+			}
+			r[i] = s
+		}
+		return r
+	}
+	gradient := func(r []float64) []float64 {
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += a[i][j] * r[i]
+			}
+			w[j] = s
+		}
+		return w
+	}
+
+	const (
+		tol     = 1e-10
+		maxIter = 3 * 64
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		w := gradient(residual())
+		// Most-violating zero-set coordinate.
+		best, bestVal := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestVal {
+				best, bestVal = j, w[j]
+			}
+		}
+		if best < 0 {
+			return x, nil // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained problem on the passive set
+		// and clip back to feasibility.
+		for {
+			var cols []int
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					cols = append(cols, j)
+				}
+			}
+			z, err := solveLS(a, b, cols)
+			if err != nil {
+				// Degenerate subproblem: drop the last added column.
+				passive[best] = false
+				return x, nil
+			}
+			// All positive: accept.
+			neg := false
+			for _, v := range z {
+				if v <= tol {
+					neg = true
+					break
+				}
+			}
+			if !neg {
+				for k, j := range cols {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Step toward z until the first variable hits zero.
+			alpha := math.Inf(1)
+			for k, j := range cols {
+				if z[k] <= tol {
+					d := x[j] - z[k]
+					if d > 0 {
+						if a := x[j] / d; a < alpha {
+							alpha = a
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range cols {
+				x[j] += alpha * (z[k] - x[j])
+				if x[j] < tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	return x, fmt.Errorf("NNLS: %w", ErrNoConverge)
+}

@@ -1,0 +1,129 @@
+// Package knee detects the "knee" of a training-loss curve — the point
+// after which loss reduction slows down significantly. The scale-in
+// scheduler never evicts a worker before the knee (§4.2, "Automatic
+// 'knee' detection"). Two pluggable detectors are provided:
+//
+//   - SlopeThreshold, the paper's default: a threshold heuristic on the
+//     first derivative of the learning curve;
+//   - Kneedle (Satopää et al., ICDCSW '11), cited by the paper as a
+//     drop-in alternative.
+//
+// Both expect a de-noised (EWMA-smoothed) decreasing loss series.
+package knee
+
+// Detector locates the knee index of a loss history.
+type Detector interface {
+	// Detect returns the knee index and whether one was found.
+	Detect(ys []float64) (int, bool)
+}
+
+// SlopeThreshold flags the knee at the first point where the magnitude
+// of the local slope falls below Ratio times the initial slope.
+type SlopeThreshold struct {
+	// Window is the number of points the local slope is estimated over
+	// (default 5).
+	Window int
+	// Ratio is the slope-decay factor that defines the knee
+	// (default 0.1: the curve has lost 90% of its initial steepness).
+	Ratio float64
+}
+
+var _ Detector = SlopeThreshold{}
+
+func (d SlopeThreshold) withDefaults() SlopeThreshold {
+	if d.Window <= 1 {
+		d.Window = 5
+	}
+	if d.Ratio <= 0 || d.Ratio >= 1 {
+		d.Ratio = 0.1
+	}
+	return d
+}
+
+// Detect implements Detector.
+func (d SlopeThreshold) Detect(ys []float64) (int, bool) {
+	d = d.withDefaults()
+	if len(ys) < 2*d.Window {
+		return 0, false
+	}
+	slope := func(end int) float64 {
+		// Mean one-step slope over the window ending at end (inclusive).
+		return (ys[end] - ys[end-d.Window+1]) / float64(d.Window-1)
+	}
+	initial := slope(d.Window - 1)
+	if initial >= 0 {
+		return 0, false // not a decreasing curve
+	}
+	limit := -initial * d.Ratio
+	for i := d.Window; i < len(ys); i++ {
+		s := slope(i)
+		if -s < limit {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Kneedle implements the Kneedle algorithm for decreasing convex curves
+// (the shape of a training-loss history).
+type Kneedle struct {
+	// S is the sensitivity: larger values demand a more pronounced knee
+	// (default 1.0, the paper's recommended setting in [34]).
+	S float64
+}
+
+var _ Detector = Kneedle{}
+
+// Detect implements Detector.
+func (k Kneedle) Detect(ys []float64) (int, bool) {
+	if k.S <= 0 {
+		k.S = 1
+	}
+	n := len(ys)
+	if n < 5 {
+		return 0, false
+	}
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi == lo {
+		return 0, false
+	}
+	// Normalize; flip the decreasing convex curve into increasing
+	// concave form, then build the difference curve.
+	diff := make([]float64, n)
+	dx := 1 / float64(n-1)
+	for i, y := range ys {
+		xn := float64(i) * dx
+		yn := (y - lo) / (hi - lo)
+		diff[i] = (1 - yn) - xn
+	}
+	// Local maxima of the difference curve; the knee is the first one
+	// whose prominence survives the sensitivity threshold until the
+	// difference curve drops below it.
+	threshold := 0.0
+	candidate := -1
+	for i := 1; i < n-1; i++ {
+		if diff[i] >= diff[i-1] && diff[i] >= diff[i+1] {
+			if candidate < 0 || diff[i] > diff[candidate] {
+				// New, higher local maximum: restart the watch.
+				candidate = i
+				threshold = diff[i] - k.S*dx
+			}
+			continue
+		}
+		if candidate >= 0 && diff[i] < threshold {
+			return candidate, true
+		}
+	}
+	if candidate >= 0 && diff[candidate] > 0 {
+		return candidate, true
+	}
+	return 0, false
+}

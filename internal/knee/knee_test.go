@@ -1,0 +1,149 @@
+package knee
+
+import (
+	"math"
+	"testing"
+
+	"mlless/internal/fit"
+	"mlless/internal/xrand"
+)
+
+// lossCurve synthesizes a decreasing convex loss history with a knee
+// around step kneeAt: fast exponential decay before, slow drift after.
+func lossCurve(n, kneeAt int, noise float64, seed uint64) []float64 {
+	r := xrand.New(seed)
+	ys := make([]float64, n)
+	for i := range ys {
+		fast := 1.5 * math.Exp(-4*float64(i)/float64(kneeAt))
+		slow := 0.5 * math.Exp(-0.1*float64(i)/float64(n))
+		ys[i] = fast + slow + r.NormFloat64()*noise
+	}
+	return ys
+}
+
+func TestSlopeThresholdFindsKnee(t *testing.T) {
+	ys := lossCurve(300, 60, 0, 1)
+	idx, ok := (SlopeThreshold{}).Detect(ys)
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	if idx < 20 || idx > 150 {
+		t.Fatalf("knee at %d, expected near 60", idx)
+	}
+}
+
+func TestSlopeThresholdNeverBeforeSteepRegion(t *testing.T) {
+	ys := lossCurve(300, 100, 0, 2)
+	idx, ok := (SlopeThreshold{}).Detect(ys)
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	// At the knee the remaining loss reduction must be small relative to
+	// the total: the detector must not fire in the fast region.
+	dropBefore := ys[0] - ys[idx]
+	total := ys[0] - ys[len(ys)-1]
+	if dropBefore < 0.6*total {
+		t.Fatalf("knee at %d captured only %.0f%% of the loss drop", idx, 100*dropBefore/total)
+	}
+}
+
+func TestSlopeThresholdTooShort(t *testing.T) {
+	if _, ok := (SlopeThreshold{}).Detect([]float64{3, 2, 1}); ok {
+		t.Fatal("knee found in 3 points")
+	}
+}
+
+func TestSlopeThresholdIncreasingCurve(t *testing.T) {
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	if _, ok := (SlopeThreshold{}).Detect(ys); ok {
+		t.Fatal("knee found in increasing curve")
+	}
+}
+
+func TestSlopeThresholdFlatCurve(t *testing.T) {
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = 1
+	}
+	if _, ok := (SlopeThreshold{}).Detect(ys); ok {
+		t.Fatal("knee found in flat curve")
+	}
+}
+
+func TestSlopeThresholdWithNoiseAndSmoothing(t *testing.T) {
+	raw := lossCurve(300, 60, 0.01, 3)
+	ys := fit.Smooth(0.2, raw)
+	idx, ok := (SlopeThreshold{}).Detect(ys)
+	if !ok {
+		t.Fatal("no knee found in smoothed noisy curve")
+	}
+	if idx < 20 || idx > 200 {
+		t.Fatalf("knee at %d", idx)
+	}
+}
+
+func TestSlopeThresholdRatioMonotone(t *testing.T) {
+	// Stricter ratio (smaller) must fire at the same point or later.
+	ys := lossCurve(400, 80, 0, 4)
+	loose, okL := SlopeThreshold{Ratio: 0.3}.Detect(ys)
+	strict, okS := SlopeThreshold{Ratio: 0.05}.Detect(ys)
+	if !okL || !okS {
+		t.Fatal("detector failed")
+	}
+	if strict < loose {
+		t.Fatalf("strict ratio fired earlier (%d) than loose (%d)", strict, loose)
+	}
+}
+
+func TestKneedleFindsKnee(t *testing.T) {
+	ys := lossCurve(300, 60, 0, 5)
+	idx, ok := (Kneedle{}).Detect(ys)
+	if !ok {
+		t.Fatal("Kneedle found no knee")
+	}
+	if idx < 15 || idx > 150 {
+		t.Fatalf("Kneedle knee at %d, expected near 60", idx)
+	}
+}
+
+func TestKneedleFlatAndShort(t *testing.T) {
+	if _, ok := (Kneedle{}).Detect([]float64{1, 1, 1, 1, 1, 1}); ok {
+		t.Fatal("knee in constant series")
+	}
+	if _, ok := (Kneedle{}).Detect([]float64{2, 1}); ok {
+		t.Fatal("knee in 2 points")
+	}
+}
+
+func TestKneedleOnCanonicalHyperbola(t *testing.T) {
+	// y = 1/x over [1, 10]: known knee region around x≈2-3 (index 10-25
+	// of 90 when sampled uniformly).
+	ys := make([]float64, 90)
+	for i := range ys {
+		x := 1 + 9*float64(i)/89
+		ys[i] = 1 / x
+	}
+	idx, ok := (Kneedle{}).Detect(ys)
+	if !ok {
+		t.Fatal("no knee on hyperbola")
+	}
+	if idx < 5 || idx > 35 {
+		t.Fatalf("hyperbola knee at %d", idx)
+	}
+}
+
+func TestDetectorsAgreeOnCleanCurve(t *testing.T) {
+	ys := lossCurve(300, 70, 0, 6)
+	a, okA := SlopeThreshold{}.Detect(ys)
+	b, okB := Kneedle{}.Detect(ys)
+	if !okA || !okB {
+		t.Fatal("a detector failed")
+	}
+	// They need not match exactly, but must agree on the region.
+	if math.Abs(float64(a-b)) > 100 {
+		t.Fatalf("detectors wildly disagree: slope=%d kneedle=%d", a, b)
+	}
+}

@@ -1,0 +1,196 @@
+// Package kvstore simulates the low-latency, in-memory key-value store
+// (Redis in the paper, §3.1) through which MLLess workers exchange model
+// updates. Functions cannot talk to each other directly, so every update
+// makes a round trip through this store; the store therefore charges
+// realistic request latencies and transfer times to the caller's virtual
+// clock and keeps per-operation metrics that the experiment harness
+// reports.
+//
+// The store is safe for concurrent use. Values are copied at the API
+// boundary so callers can never alias internal storage.
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+// Metrics aggregates the traffic a Store has served.
+type Metrics struct {
+	Gets         int64
+	Sets         int64
+	Deletes      int64
+	Misses       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Store is a simulated in-memory key-value service.
+type Store struct {
+	link netmodel.Link
+
+	mu      sync.Mutex
+	data    map[string][]byte
+	metrics Metrics
+}
+
+// New returns an empty store reached through link.
+func New(link netmodel.Link) *Store {
+	return &Store{link: link, data: make(map[string][]byte)}
+}
+
+// Set stores a copy of val under key and charges the transfer to clk.
+func (s *Store) Set(clk *vclock.Clock, key string, val []byte) {
+	clk.Advance(s.link.TransferTime(len(val)))
+	cp := make([]byte, len(val))
+	copy(cp, val)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = cp
+	s.metrics.Sets++
+	s.metrics.BytesWritten += int64(len(val))
+}
+
+// Get returns a copy of the value under key. The round trip is charged
+// to clk whether or not the key exists.
+func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
+	s.mu.Lock()
+	val, ok := s.data[key]
+	s.metrics.Gets++
+	if !ok {
+		s.metrics.Misses++
+	} else {
+		s.metrics.BytesRead += int64(len(val))
+	}
+	var cp []byte
+	if ok {
+		cp = make([]byte, len(val))
+		copy(cp, val)
+	}
+	s.mu.Unlock()
+
+	if !ok {
+		clk.Advance(s.link.RTT())
+		return nil, false
+	}
+	clk.Advance(s.link.TransferTime(len(cp)))
+	return cp, true
+}
+
+// MGet fetches several keys in one pipelined request: a single request
+// latency plus the bandwidth cost of all returned values. Missing keys
+// yield nil entries.
+func (s *Store) MGet(clk *vclock.Clock, keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	total := 0
+
+	s.mu.Lock()
+	for i, key := range keys {
+		val, ok := s.data[key]
+		s.metrics.Gets++
+		if !ok {
+			s.metrics.Misses++
+			continue
+		}
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		out[i] = cp
+		total += len(val)
+		s.metrics.BytesRead += int64(len(val))
+	}
+	s.mu.Unlock()
+
+	clk.Advance(s.link.TransferTime(total))
+	return out
+}
+
+// MGetView is MGet without the defensive copies: the returned slices
+// alias the store's internal buffers. It is safe because stored values
+// are immutable — Set replaces a key's slice wholesale and never mutates
+// one in place — but callers must treat the views as read-only. It is
+// the hot path for applying peer updates, which are read once and
+// discarded.
+func (s *Store) MGetView(clk *vclock.Clock, keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	total := 0
+
+	s.mu.Lock()
+	for i, key := range keys {
+		val, ok := s.data[key]
+		s.metrics.Gets++
+		if !ok {
+			s.metrics.Misses++
+			continue
+		}
+		out[i] = val
+		total += len(val)
+		s.metrics.BytesRead += int64(len(val))
+	}
+	s.mu.Unlock()
+
+	clk.Advance(s.link.TransferTime(total))
+	return out
+}
+
+// Delete removes key, charging one round trip.
+func (s *Store) Delete(clk *vclock.Clock, key string) {
+	clk.Advance(s.link.RTT())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+	s.metrics.Deletes++
+}
+
+// Keys returns the sorted keys with the given prefix. It charges one
+// round trip (key lists are tiny compared to values).
+func (s *Store) Keys(clk *vclock.Clock, prefix string) []string {
+	clk.Advance(s.link.RTT())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of stored keys without charging time (it is a
+// harness-side observability call, not a data-path operation).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Metrics returns a snapshot of the traffic counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// Flush removes all keys (job teardown between experiment runs).
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]byte)
+}
+
+// Link returns the network link used by the store, so callers can
+// estimate transfer times without performing operations.
+func (s *Store) Link() netmodel.Link { return s.link }
+
+// TransferTime is a convenience passthrough for estimating the cost of a
+// hypothetical transfer of n bytes through this store's link.
+func (s *Store) TransferTime(n int) time.Duration { return s.link.TransferTime(n) }

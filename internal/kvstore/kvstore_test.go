@@ -1,0 +1,217 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+func fastStore() *Store { return New(netmodel.Link{}) }
+
+func TestSetGet(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("hello"))
+	got, ok := s.Get(&clk, "a")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	if _, ok := s.Get(&clk, "nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+	if s.Metrics().Misses != 1 {
+		t.Fatalf("Misses = %d", s.Metrics().Misses)
+	}
+}
+
+func TestValueCopiedAtBoundary(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	val := []byte("abc")
+	s.Set(&clk, "k", val)
+	val[0] = 'X' // caller mutates after Set
+	got, _ := s.Get(&clk, "k")
+	if string(got) != "abc" {
+		t.Fatal("Set aliased caller's buffer")
+	}
+	got[0] = 'Y' // caller mutates returned buffer
+	again, _ := s.Get(&clk, "k")
+	if string(again) != "abc" {
+		t.Fatal("Get returned aliased internal buffer")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "k", []byte("v"))
+	s.Delete(&clk, "k")
+	if _, ok := s.Get(&clk, "k"); ok {
+		t.Fatal("key survived Delete")
+	}
+}
+
+func TestKeysPrefixSorted(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	for _, k := range []string{"u/3", "u/1", "v/9", "u/2"} {
+		s.Set(&clk, k, []byte("x"))
+	}
+	got := s.Keys(&clk, "u/")
+	want := []string{"u/1", "u/2", "u/3"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMGet(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("1"))
+	s.Set(&clk, "c", []byte("3"))
+	got := s.MGet(&clk, []string{"a", "b", "c"})
+	if string(got[0]) != "1" || got[1] != nil || string(got[2]) != "3" {
+		t.Fatalf("MGet = %v", got)
+	}
+}
+
+func TestClockCharging(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	payload := make([]byte, 1e6) // 1 second at 1 MB/s
+	s.Set(&clk, "k", payload)
+	want := time.Millisecond + time.Second
+	if clk.Now() != want {
+		t.Fatalf("Set charged %v, want %v", clk.Now(), want)
+	}
+	before := clk.Now()
+	s.Get(&clk, "k")
+	if clk.Now()-before != want {
+		t.Fatalf("Get charged %v, want %v", clk.Now()-before, want)
+	}
+}
+
+func TestMGetPipelinesLatency(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var setClk vclock.Clock
+	for i := 0; i < 10; i++ {
+		s.Set(&setClk, fmt.Sprintf("k%d", i), make([]byte, 1000))
+	}
+	var clk vclock.Clock
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	s.MGet(&clk, keys)
+	// One latency + 10 KB at 1 MB/s = 1 ms + 10 ms.
+	want := time.Millisecond + 10*time.Millisecond
+	if clk.Now() != want {
+		t.Fatalf("MGet charged %v, want %v", clk.Now(), want)
+	}
+}
+
+func TestMissChargesRTT(t *testing.T) {
+	link := netmodel.Link{Latency: 2 * time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	s.Get(&clk, "missing")
+	if clk.Now() != 2*time.Millisecond {
+		t.Fatalf("miss charged %v", clk.Now())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("12345"))
+	s.Get(&clk, "a")
+	s.Get(&clk, "b")
+	s.Delete(&clk, "a")
+	m := s.Metrics()
+	if m.Sets != 1 || m.Gets != 2 || m.Deletes != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.BytesWritten != 5 || m.BytesRead != 5 {
+		t.Fatalf("byte counters = %+v", m)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("x"))
+	s.Flush()
+	if s.Len() != 0 {
+		t.Fatal("Flush left keys")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := fastStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var clk vclock.Clock
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d/%d", w, i)
+				s.Set(&clk, key, []byte{byte(i)})
+				if v, ok := s.Get(&clk, key); !ok || v[0] != byte(i) {
+					t.Errorf("lost own write %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestMGetViewSharesBuffers(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("abc"))
+	s.Set(&clk, "b", []byte("de"))
+	views := s.MGetView(&clk, []string{"a", "missing", "b"})
+	if string(views[0]) != "abc" || views[1] != nil || string(views[2]) != "de" {
+		t.Fatalf("MGetView = %q", views)
+	}
+	// Overwriting a key must not disturb a previously returned view
+	// (stored values are immutable; Set replaces wholesale).
+	s.Set(&clk, "a", []byte("xyz"))
+	if string(views[0]) != "abc" {
+		t.Fatal("view mutated by a later Set")
+	}
+}
+
+func TestMGetViewChargesLikeMGet(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var setClk vclock.Clock
+	s.Set(&setClk, "k", make([]byte, 5000))
+	var a, b vclock.Clock
+	s.MGet(&a, []string{"k"})
+	s.MGetView(&b, []string{"k"})
+	if a.Now() != b.Now() {
+		t.Fatalf("charging differs: MGet %v, MGetView %v", a.Now(), b.Now())
+	}
+}

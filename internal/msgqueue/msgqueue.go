@@ -1,0 +1,189 @@
+// Package msgqueue simulates the messaging service (RabbitMQ on a
+// C1.4x4 VM in the paper, §3.1) that carries control traffic between
+// MLLess workers and the supervisor: update-availability announcements,
+// per-step loss reports, and scale-in commands. It offers named FIFO
+// queues and fanout exchanges, the two primitives the prototype uses.
+//
+// The broker is safe for concurrent use; consumption is non-blocking
+// because the simulator's step engine polls at deterministic points
+// instead of parking goroutines.
+package msgqueue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+// ErrNoQueue is returned when addressing an undeclared queue.
+var ErrNoQueue = errors.New("msgqueue: queue not declared")
+
+// ErrNoExchange is returned when addressing an undeclared exchange.
+var ErrNoExchange = errors.New("msgqueue: exchange not declared")
+
+// Metrics aggregates broker traffic.
+type Metrics struct {
+	Published      int64
+	Consumed       int64
+	BytesPublished int64
+}
+
+// Broker is a simulated message broker.
+type Broker struct {
+	link netmodel.Link
+
+	mu        sync.Mutex
+	queues    map[string][][]byte
+	exchanges map[string]map[string]bool // exchange -> bound queues
+	metrics   Metrics
+}
+
+// New returns an empty broker reached through link.
+func New(link netmodel.Link) *Broker {
+	return &Broker{
+		link:      link,
+		queues:    make(map[string][][]byte),
+		exchanges: make(map[string]map[string]bool),
+	}
+}
+
+// DeclareQueue creates a queue if it does not exist (idempotent).
+func (b *Broker) DeclareQueue(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.queues[name]; !ok {
+		b.queues[name] = nil
+	}
+}
+
+// DeleteQueue removes a queue and unbinds it from all exchanges.
+func (b *Broker) DeleteQueue(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.queues, name)
+	for _, bound := range b.exchanges {
+		delete(bound, name)
+	}
+}
+
+// DeclareFanout creates a fanout exchange if it does not exist.
+func (b *Broker) DeclareFanout(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.exchanges[name]; !ok {
+		b.exchanges[name] = make(map[string]bool)
+	}
+}
+
+// Bind attaches queue to exchange so fanout publishes reach it.
+func (b *Broker) Bind(exchange, queue string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bound, ok := b.exchanges[exchange]
+	if !ok {
+		return fmt.Errorf("bind %s->%s: %w", exchange, queue, ErrNoExchange)
+	}
+	if _, ok := b.queues[queue]; !ok {
+		return fmt.Errorf("bind %s->%s: %w", exchange, queue, ErrNoQueue)
+	}
+	bound[queue] = true
+	return nil
+}
+
+// Unbind detaches queue from exchange (idempotent).
+func (b *Broker) Unbind(exchange, queue string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.exchanges[exchange], queue)
+}
+
+// Publish appends a copy of msg to queue, charging one transfer to clk.
+func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
+	clk.Advance(b.link.TransferTime(len(msg)))
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.queues[queue]; !ok {
+		return fmt.Errorf("publish to %s: %w", queue, ErrNoQueue)
+	}
+	b.queues[queue] = append(b.queues[queue], cp)
+	b.metrics.Published++
+	b.metrics.BytesPublished += int64(len(msg))
+	return nil
+}
+
+// PublishFanout delivers a copy of msg to every queue bound to exchange.
+// A single transfer is charged: the broker VM, not the publisher,
+// performs the replication.
+func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) error {
+	clk.Advance(b.link.TransferTime(len(msg)))
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bound, ok := b.exchanges[exchange]
+	if !ok {
+		return fmt.Errorf("publish to exchange %s: %w", exchange, ErrNoExchange)
+	}
+	for q := range bound {
+		cp := make([]byte, len(msg))
+		copy(cp, msg)
+		b.queues[q] = append(b.queues[q], cp)
+		b.metrics.Published++
+		b.metrics.BytesPublished += int64(len(msg))
+	}
+	return nil
+}
+
+// Consume pops the oldest message from queue. It returns false when the
+// queue is empty or undeclared. One round trip is charged either way.
+func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
+	b.mu.Lock()
+	msgs := b.queues[queue]
+	var msg []byte
+	ok := len(msgs) > 0
+	if ok {
+		msg = msgs[0]
+		b.queues[queue] = msgs[1:]
+		b.metrics.Consumed++
+	}
+	b.mu.Unlock()
+
+	clk.Advance(b.link.TransferTime(len(msg)))
+	return msg, ok
+}
+
+// ConsumeAll drains queue, charging a single round trip plus the
+// bandwidth of everything returned (a batched basic.get).
+func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
+	b.mu.Lock()
+	msgs := b.queues[queue]
+	b.queues[queue] = nil
+	b.metrics.Consumed += int64(len(msgs))
+	b.mu.Unlock()
+
+	total := 0
+	for _, m := range msgs {
+		total += len(m)
+	}
+	clk.Advance(b.link.TransferTime(total))
+	return msgs
+}
+
+// Len reports the queue depth (observability; charges no time).
+func (b *Broker) Len(queue string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[queue])
+}
+
+// Metrics returns a snapshot of the traffic counters.
+func (b *Broker) Metrics() Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.metrics
+}

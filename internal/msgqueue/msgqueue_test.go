@@ -1,0 +1,197 @@
+package msgqueue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+func fastBroker() *Broker { return New(netmodel.Link{}) }
+
+func TestPublishConsumeFIFO(t *testing.T) {
+	b := fastBroker()
+	b.DeclareQueue("q")
+	var clk vclock.Clock
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(&clk, "q", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		msg, ok := b.Consume(&clk, "q")
+		if !ok || msg[0] != byte(i) {
+			t.Fatalf("Consume %d = %v, %v", i, msg, ok)
+		}
+	}
+	if _, ok := b.Consume(&clk, "q"); ok {
+		t.Fatal("empty queue yielded a message")
+	}
+}
+
+func TestPublishUndeclared(t *testing.T) {
+	b := fastBroker()
+	var clk vclock.Clock
+	if err := b.Publish(&clk, "nope", []byte("x")); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeclareIdempotent(t *testing.T) {
+	b := fastBroker()
+	b.DeclareQueue("q")
+	var clk vclock.Clock
+	if err := b.Publish(&clk, "q", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeclareQueue("q") // must not drop pending messages
+	if b.Len("q") != 1 {
+		t.Fatal("re-declare dropped messages")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	b := fastBroker()
+	b.DeclareFanout("updates")
+	b.DeclareQueue("w0")
+	b.DeclareQueue("w1")
+	if err := b.Bind("updates", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("updates", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	var clk vclock.Clock
+	if err := b.PublishFanout(&clk, "updates", []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"w0", "w1"} {
+		msg, ok := b.Consume(&clk, q)
+		if !ok || string(msg) != "u" {
+			t.Fatalf("queue %s: %q, %v", q, msg, ok)
+		}
+	}
+}
+
+func TestFanoutCopiesPerQueue(t *testing.T) {
+	b := fastBroker()
+	b.DeclareFanout("x")
+	b.DeclareQueue("a")
+	b.DeclareQueue("b")
+	_ = b.Bind("x", "a")
+	_ = b.Bind("x", "b")
+	var clk vclock.Clock
+	_ = b.PublishFanout(&clk, "x", []byte("m"))
+	msgA, _ := b.Consume(&clk, "a")
+	msgA[0] = 'Z'
+	msgB, _ := b.Consume(&clk, "b")
+	if string(msgB) != "m" {
+		t.Fatal("fanout queues share one buffer")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	b := fastBroker()
+	if err := b.Bind("nox", "noq"); !errors.Is(err, ErrNoExchange) {
+		t.Fatalf("err = %v", err)
+	}
+	b.DeclareFanout("x")
+	if err := b.Bind("x", "noq"); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnbindStopsDelivery(t *testing.T) {
+	b := fastBroker()
+	b.DeclareFanout("x")
+	b.DeclareQueue("q")
+	_ = b.Bind("x", "q")
+	b.Unbind("x", "q")
+	var clk vclock.Clock
+	_ = b.PublishFanout(&clk, "x", []byte("m"))
+	if b.Len("q") != 0 {
+		t.Fatal("unbound queue still receives")
+	}
+}
+
+func TestDeleteQueueUnbinds(t *testing.T) {
+	b := fastBroker()
+	b.DeclareFanout("x")
+	b.DeclareQueue("q")
+	_ = b.Bind("x", "q")
+	b.DeleteQueue("q")
+	var clk vclock.Clock
+	if err := b.PublishFanout(&clk, "x", []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len("q") != 0 {
+		t.Fatal("deleted queue received a message")
+	}
+}
+
+func TestConsumeAll(t *testing.T) {
+	b := fastBroker()
+	b.DeclareQueue("q")
+	var clk vclock.Clock
+	for i := 0; i < 3; i++ {
+		_ = b.Publish(&clk, "q", []byte{byte(i)})
+	}
+	msgs := b.ConsumeAll(&clk, "q")
+	if len(msgs) != 3 || msgs[2][0] != 2 {
+		t.Fatalf("ConsumeAll = %v", msgs)
+	}
+	if b.Len("q") != 0 {
+		t.Fatal("ConsumeAll left messages")
+	}
+}
+
+func TestClockCharging(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	b := New(link)
+	b.DeclareQueue("q")
+	var clk vclock.Clock
+	_ = b.Publish(&clk, "q", make([]byte, 1000))
+	want := time.Millisecond + time.Millisecond // latency + 1000B at 1MB/s
+	if clk.Now() != want {
+		t.Fatalf("Publish charged %v, want %v", clk.Now(), want)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	b := fastBroker()
+	b.DeclareQueue("q")
+	var clk vclock.Clock
+	_ = b.Publish(&clk, "q", []byte("abc"))
+	b.Consume(&clk, "q")
+	m := b.Metrics()
+	if m.Published != 1 || m.Consumed != 1 || m.BytesPublished != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := fastBroker()
+	b.DeclareQueue("q")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var clk vclock.Clock
+			for i := 0; i < 100; i++ {
+				if err := b.Publish(&clk, "q", []byte(fmt.Sprintf("%d/%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len("q") != 800 {
+		t.Fatalf("queue depth = %d", b.Len("q"))
+	}
+}

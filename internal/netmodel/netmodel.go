@@ -1,0 +1,85 @@
+// Package netmodel models the network paths between simulated cloud
+// components as latency + bandwidth links. Every request to a simulated
+// service (key-value store, object store, message broker) is charged
+//
+//	latency + payloadBytes/bandwidth
+//
+// on the caller's virtual clock. The default link parameters below are
+// calibrated to the environment of the paper (§6.1): all components in
+// one region (us-east), VMs and functions with 1 Gbps NICs, Redis
+// round-trips of a few hundred microseconds to low milliseconds, and
+// object-storage first-byte latencies of tens of milliseconds — the
+// "hundreds of milliseconds" indirect-communication penalty the paper
+// attributes to passing state through storage (§2).
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link models a network path with fixed per-request latency and a
+// bandwidth in bytes per second. The zero value is an infinitely fast
+// link (zero latency, and zero bandwidth means "unconstrained"), which is
+// convenient in unit tests.
+type Link struct {
+	// Latency is charged once per request regardless of size.
+	Latency time.Duration
+	// BandwidthBps is the sustained transfer rate in bytes/second.
+	// Zero disables the bandwidth term.
+	BandwidthBps float64
+}
+
+// TransferTime returns the virtual duration of moving n payload bytes
+// across the link, including the per-request latency.
+func (l Link) TransferTime(n int) time.Duration {
+	d := l.Latency
+	if l.BandwidthBps > 0 && n > 0 {
+		d += time.Duration(float64(n) / l.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// RTT returns the zero-payload request time.
+func (l Link) RTT() time.Duration { return l.Latency }
+
+// String renders the link parameters.
+func (l Link) String() string {
+	return fmt.Sprintf("link{lat=%v bw=%.0fMB/s}", l.Latency, l.BandwidthBps/1e6)
+}
+
+// Common capacity constants.
+const (
+	// GbpsNIC is 1 Gbit/s expressed in bytes/second, the NIC capacity
+	// of every VM and function in the paper's setup.
+	GbpsNIC = 125e6
+)
+
+// Default links for the paper's deployment. These are package-level
+// constructors (not mutable globals) so call sites can tweak copies.
+
+// RedisLink models a function-to-Redis request inside one region:
+// sub-millisecond RTT, NIC-bound bandwidth. Redis itself sustains
+// thousands of requests/s (§3.1), so the per-request latency dominates
+// small transfers.
+func RedisLink() Link {
+	return Link{Latency: 700 * time.Microsecond, BandwidthBps: GbpsNIC}
+}
+
+// COSLink models object-storage access: high first-byte latency and
+// lower effective per-stream throughput than the NIC line rate.
+func COSLink() Link {
+	return Link{Latency: 25 * time.Millisecond, BandwidthBps: 60e6}
+}
+
+// BrokerLink models publishing/consuming a small control message through
+// the RabbitMQ VM.
+func BrokerLink() Link {
+	return Link{Latency: 1 * time.Millisecond, BandwidthBps: GbpsNIC}
+}
+
+// VMPeerLink models direct VM-to-VM traffic (Gloo all-reduce in the
+// serverful baseline): low latency, NIC line rate.
+func VMPeerLink() Link {
+	return Link{Latency: 150 * time.Microsecond, BandwidthBps: GbpsNIC}
+}

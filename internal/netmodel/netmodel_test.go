@@ -1,0 +1,71 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroLinkIsFree(t *testing.T) {
+	var l Link
+	if got := l.TransferTime(1 << 20); got != 0 {
+		t.Fatalf("zero link charged %v", got)
+	}
+}
+
+func TestLatencyOnly(t *testing.T) {
+	l := Link{Latency: 5 * time.Millisecond}
+	if got := l.TransferTime(1 << 30); got != 5*time.Millisecond {
+		t.Fatalf("latency-only link charged %v", got)
+	}
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	l := Link{Latency: time.Millisecond, BandwidthBps: 1e6} // 1 MB/s
+	got := l.TransferTime(1e6)
+	want := time.Millisecond + time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestZeroPayload(t *testing.T) {
+	l := Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	if got := l.TransferTime(0); got != time.Millisecond {
+		t.Fatalf("zero payload charged %v", got)
+	}
+	if l.RTT() != time.Millisecond {
+		t.Fatalf("RTT = %v", l.RTT())
+	}
+}
+
+func TestMonotoneInSize(t *testing.T) {
+	l := RedisLink()
+	if err := quick.Check(func(a, b uint32) bool {
+		x, y := int(a%1e7), int(b%1e7)
+		if x > y {
+			x, y = y, x
+		}
+		return l.TransferTime(x) <= l.TransferTime(y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultLinkOrdering(t *testing.T) {
+	// The whole reproduction depends on this ordering: direct VM traffic
+	// is fastest, Redis is fast, the object store is slow.
+	const n = 100 << 10 // 100 KiB
+	vm := VMPeerLink().TransferTime(n)
+	redis := RedisLink().TransferTime(n)
+	cos := COSLink().TransferTime(n)
+	if !(vm < redis && redis < cos) {
+		t.Fatalf("link ordering violated: vm=%v redis=%v cos=%v", vm, redis, cos)
+	}
+}
+
+func TestString(t *testing.T) {
+	if RedisLink().String() == "" {
+		t.Fatal("empty String")
+	}
+}

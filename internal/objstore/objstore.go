@@ -1,0 +1,144 @@
+// Package objstore simulates the serverless object storage service (IBM
+// COS in the paper) that holds dataset mini-batches and, for the PyWren
+// baseline, carries every intermediate result. Compared to the key-value
+// store it has much higher first-byte latency, which is precisely why a
+// non-specialized serverless design that shuffles updates through object
+// storage is "dramatically inefficient" (§6.2).
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+// ErrNotFound is returned when a requested object does not exist.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Metrics aggregates the traffic a Store has served.
+type Metrics struct {
+	Puts         int64
+	Gets         int64
+	Deletes      int64
+	Lists        int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Store is a simulated object storage service with bucket/key namespaces.
+// It is safe for concurrent use.
+type Store struct {
+	link netmodel.Link
+
+	mu      sync.Mutex
+	buckets map[string]map[string][]byte
+	metrics Metrics
+}
+
+// New returns an empty store reached through link.
+func New(link netmodel.Link) *Store {
+	return &Store{link: link, buckets: make(map[string]map[string][]byte)}
+}
+
+// Put stores a copy of val as bucket/key, creating the bucket on demand.
+func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
+	clk.Advance(s.link.TransferTime(len(val)))
+	cp := make([]byte, len(val))
+	copy(cp, val)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = make(map[string][]byte)
+		s.buckets[bucket] = b
+	}
+	b[key] = cp
+	s.metrics.Puts++
+	s.metrics.BytesWritten += int64(len(val))
+}
+
+// Get returns a copy of the object at bucket/key.
+func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
+	s.mu.Lock()
+	var cp []byte
+	val, ok := s.buckets[bucket][key]
+	s.metrics.Gets++
+	if ok {
+		cp = make([]byte, len(val))
+		copy(cp, val)
+		s.metrics.BytesRead += int64(len(val))
+	}
+	s.mu.Unlock()
+
+	if !ok {
+		clk.Advance(s.link.RTT())
+		return nil, fmt.Errorf("get %s/%s: %w", bucket, key, ErrNotFound)
+	}
+	clk.Advance(s.link.TransferTime(len(cp)))
+	return cp, nil
+}
+
+// Size returns the byte size of an object without transferring it
+// (a HEAD request: one round trip).
+func (s *Store) Size(clk *vclock.Clock, bucket, key string) (int, error) {
+	clk.Advance(s.link.RTT())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	val, ok := s.buckets[bucket][key]
+	if !ok {
+		return 0, fmt.Errorf("head %s/%s: %w", bucket, key, ErrNotFound)
+	}
+	return len(val), nil
+}
+
+// Delete removes bucket/key. Deleting a missing object is not an error,
+// mirroring S3/COS semantics.
+func (s *Store) Delete(clk *vclock.Clock, bucket, key string) {
+	clk.Advance(s.link.RTT())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.buckets[bucket], key)
+	s.metrics.Deletes++
+}
+
+// List returns the sorted keys in bucket with the given prefix.
+func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
+	clk.Advance(s.link.RTT())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.Lists++
+	var out []string
+	for k := range s.buckets[bucket] {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics returns a snapshot of the traffic counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// DeleteBucket drops a whole bucket (experiment teardown).
+func (s *Store) DeleteBucket(bucket string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.buckets, bucket)
+}
+
+// Link returns the store's network link for time estimation.
+func (s *Store) Link() netmodel.Link { return s.link }

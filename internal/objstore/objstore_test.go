@@ -1,0 +1,168 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mlless/internal/netmodel"
+	"mlless/internal/vclock"
+)
+
+func fastStore() *Store { return New(netmodel.Link{}) }
+
+func TestPutGet(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Put(&clk, "data", "batch-0", []byte("payload"))
+	got, err := s.Get(&clk, "data", "batch-0")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestGetMissingWrapsErrNotFound(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	_, err := s.Get(&clk, "data", "nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	_, err = s.Get(&clk, "nobucket", "nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing bucket err = %v", err)
+	}
+}
+
+func TestValueCopiedAtBoundary(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	val := []byte("abc")
+	s.Put(&clk, "b", "k", val)
+	val[0] = 'X'
+	got, _ := s.Get(&clk, "b", "k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliased caller buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get(&clk, "b", "k")
+	if string(again) != "abc" {
+		t.Fatal("Get aliased internal buffer")
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", make([]byte, 123))
+	n, err := s.Size(&clk, "b", "k")
+	if err != nil || n != 123 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if _, err := s.Size(&clk, "b", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size missing err = %v", err)
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", []byte("v"))
+	s.Delete(&clk, "b", "k")
+	s.Delete(&clk, "b", "k") // no error, no panic
+	if _, err := s.Get(&clk, "b", "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("object survived Delete")
+	}
+}
+
+func TestListPrefixSorted(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	for _, k := range []string{"train/2", "train/0", "test/0", "train/1"} {
+		s.Put(&clk, "b", k, []byte("x"))
+	}
+	got := s.List(&clk, "b", "train/")
+	want := []string{"train/0", "train/1", "train/2"}
+	if len(got) != 3 {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v", got)
+		}
+	}
+}
+
+func TestClockCharging(t *testing.T) {
+	link := netmodel.Link{Latency: 10 * time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", make([]byte, 1e6))
+	want := 10*time.Millisecond + time.Second
+	if clk.Now() != want {
+		t.Fatalf("Put charged %v, want %v", clk.Now(), want)
+	}
+	var getClk vclock.Clock
+	if _, err := s.Get(&getClk, "b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if getClk.Now() != want {
+		t.Fatalf("Get charged %v, want %v", getClk.Now(), want)
+	}
+	var missClk vclock.Clock
+	_, _ = s.Get(&missClk, "b", "missing")
+	if missClk.Now() != 10*time.Millisecond {
+		t.Fatalf("miss charged %v", missClk.Now())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", []byte("12345"))
+	_, _ = s.Get(&clk, "b", "k")
+	s.List(&clk, "b", "")
+	s.Delete(&clk, "b", "k")
+	m := s.Metrics()
+	if m.Puts != 1 || m.Gets != 1 || m.Lists != 1 || m.Deletes != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.BytesWritten != 5 || m.BytesRead != 5 {
+		t.Fatalf("byte counters = %+v", m)
+	}
+}
+
+func TestDeleteBucket(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", []byte("v"))
+	s.DeleteBucket("b")
+	if _, err := s.Get(&clk, "b", "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("bucket survived DeleteBucket")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := fastStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var clk vclock.Clock
+			bucket := fmt.Sprintf("b%d", w)
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i)
+				s.Put(&clk, bucket, key, []byte{byte(i)})
+				v, err := s.Get(&clk, bucket, key)
+				if err != nil || v[0] != byte(i) {
+					t.Errorf("lost own write %s/%s", bucket, key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

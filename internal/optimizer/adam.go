@@ -1,0 +1,69 @@
+package optimizer
+
+import (
+	"math"
+
+	"mlless/internal/sparse"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba) with sparse, lazily
+// updated first and second moments — the LR optimizer of Table 1.
+// Bias correction uses the global step count, the standard "lazy Adam"
+// treatment for sparse gradients.
+type Adam struct {
+	lr           Schedule
+	beta1, beta2 float64
+	eps          float64
+	m, v         *sparse.Vector
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer. Standard defaults: β1=0.9,
+// β2=0.999, ε=1e-8.
+func NewAdam(lr Schedule, beta1, beta2, eps float64) *Adam {
+	return &Adam{lr: lr, beta1: beta1, beta2: beta2, eps: eps, m: sparse.New(), v: sparse.New()}
+}
+
+// NewAdamDefaults returns Adam with the canonical hyperparameters.
+func NewAdamDefaults(lr Schedule) *Adam {
+	return NewAdam(lr, 0.9, 0.999, 1e-8)
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (o *Adam) Step(t int, grad *sparse.Vector) *sparse.Vector {
+	if t < 1 {
+		t = 1
+	}
+	rate := o.lr.Rate(t)
+	c1 := 1 - math.Pow(o.beta1, float64(t))
+	c2 := 1 - math.Pow(o.beta2, float64(t))
+	u := sparse.NewWithCapacity(grad.Len())
+	grad.ForEach(func(i uint32, g float64) {
+		m := o.beta1*o.m.Get(i) + (1-o.beta1)*g
+		v := o.beta2*o.v.Get(i) + (1-o.beta2)*g*g
+		o.m.Set(i, m)
+		o.v.Set(i, v)
+		mHat := m / c1
+		vHat := v / c2
+		u.Set(i, -rate*mHat/(math.Sqrt(vHat)+o.eps))
+	})
+	return u
+}
+
+// Clone implements Optimizer.
+func (o *Adam) Clone() Optimizer {
+	return &Adam{
+		lr: o.lr, beta1: o.beta1, beta2: o.beta2, eps: o.eps,
+		m: o.m.Clone(), v: o.v.Clone(),
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.m = sparse.New()
+	o.v = sparse.New()
+}

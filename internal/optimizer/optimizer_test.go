@@ -1,0 +1,257 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"mlless/internal/sparse"
+	"mlless/internal/xrand"
+)
+
+func grad(entries map[uint32]float64) *sparse.Vector {
+	v := sparse.New()
+	for i, val := range entries {
+		v.Set(i, val)
+	}
+	return v
+}
+
+func TestSchedules(t *testing.T) {
+	c := Constant(0.5)
+	if c.Rate(1) != 0.5 || c.Rate(100) != 0.5 {
+		t.Fatal("Constant schedule not constant")
+	}
+	s := InvSqrt(1.0)
+	if s.Rate(1) != 1 {
+		t.Fatalf("InvSqrt.Rate(1) = %v", s.Rate(1))
+	}
+	if math.Abs(s.Rate(4)-0.5) > 1e-12 {
+		t.Fatalf("InvSqrt.Rate(4) = %v", s.Rate(4))
+	}
+	if s.Rate(0) != 1 || s.Rate(-3) != 1 {
+		t.Fatal("InvSqrt must clamp non-positive steps")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	o := NewSGD(Constant(0.1))
+	u := o.Step(1, grad(map[uint32]float64{2: 10, 5: -20}))
+	if math.Abs(u.Get(2)+1) > 1e-12 || math.Abs(u.Get(5)-2) > 1e-12 {
+		t.Fatalf("SGD update: %v", u)
+	}
+}
+
+func TestSGDDoesNotMutateGradient(t *testing.T) {
+	o := NewSGD(Constant(0.1))
+	g := grad(map[uint32]float64{1: 3})
+	o.Step(1, g)
+	if g.Get(1) != 3 {
+		t.Fatal("Step mutated the input gradient")
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	o := NewMomentum(Constant(1), 0.9)
+	g := grad(map[uint32]float64{0: 1})
+	u1 := o.Step(1, g)
+	u2 := o.Step(2, g)
+	// v1 = 1, v2 = 0.9 + 1 = 1.9
+	if math.Abs(u1.Get(0)+1) > 1e-12 {
+		t.Fatalf("u1 = %v", u1.Get(0))
+	}
+	if math.Abs(u2.Get(0)+1.9) > 1e-12 {
+		t.Fatalf("u2 = %v", u2.Get(0))
+	}
+}
+
+func TestNesterovLookahead(t *testing.T) {
+	o := NewNesterov(Constant(1), 0.9)
+	g := grad(map[uint32]float64{0: 1})
+	u1 := o.Step(1, g)
+	// v1 = 1; u1 = -(g + mu*v1) = -(1 + 0.9) = -1.9
+	if math.Abs(u1.Get(0)+1.9) > 1e-12 {
+		t.Fatalf("u1 = %v", u1.Get(0))
+	}
+}
+
+func TestNesterovDescendsQuadraticFasterThanSGD(t *testing.T) {
+	// Minimize f(x) = 0.5*x² from x=10 with equal small rates; momentum
+	// should make more progress over a fixed horizon.
+	run := func(o Optimizer) float64 {
+		x := 10.0
+		for t := 1; t <= 50; t++ {
+			g := grad(map[uint32]float64{0: x})
+			u := o.Step(t, g)
+			x += u.Get(0)
+		}
+		return math.Abs(x)
+	}
+	sgd := run(NewSGD(Constant(0.02)))
+	nest := run(NewNesterov(Constant(0.02), 0.9))
+	if nest >= sgd {
+		t.Fatalf("Nesterov |x|=%v not faster than SGD |x|=%v", nest, sgd)
+	}
+}
+
+func TestAdamFirstStepIsLearningRateSized(t *testing.T) {
+	o := NewAdamDefaults(Constant(0.001))
+	u := o.Step(1, grad(map[uint32]float64{3: 42}))
+	// With bias correction, the first Adam step is ≈ −lr·sign(g).
+	if math.Abs(u.Get(3)+0.001) > 1e-6 {
+		t.Fatalf("first Adam step = %v, want ≈ -0.001", u.Get(3))
+	}
+}
+
+func TestAdamScaleInvariance(t *testing.T) {
+	// Adam normalizes by gradient magnitude: constant gradients of very
+	// different scales must produce near-identical steps.
+	small := NewAdamDefaults(Constant(0.01))
+	large := NewAdamDefaults(Constant(0.01))
+	var us, ul float64
+	for t := 1; t <= 10; t++ {
+		us = small.Step(t, grad(map[uint32]float64{0: 1e-3})).Get(0)
+		ul = large.Step(t, grad(map[uint32]float64{0: 1e3})).Get(0)
+	}
+	if math.Abs(us-ul) > 1e-4 {
+		t.Fatalf("Adam not scale invariant: %v vs %v", us, ul)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	o := NewAdamDefaults(Constant(0.5))
+	x := 10.0
+	for t := 1; t <= 400; t++ {
+		g := grad(map[uint32]float64{0: x})
+		x += o.Step(t, g).Get(0)
+	}
+	if math.Abs(x) > 0.5 {
+		t.Fatalf("Adam did not converge: x=%v", x)
+	}
+}
+
+func TestCloneIsolatesState(t *testing.T) {
+	for _, o := range []Optimizer{
+		NewMomentum(Constant(1), 0.9),
+		NewNesterov(Constant(1), 0.9),
+		NewAdamDefaults(Constant(0.1)),
+	} {
+		g := grad(map[uint32]float64{0: 1})
+		o.Step(1, g)
+		c := o.Clone()
+		// Advancing the clone must not affect the original.
+		c.Step(2, g)
+		c.Step(3, g)
+		uOrig := o.Step(2, g)
+		fresh := o.Clone()
+		_ = fresh
+		uClone := c.Step(4, g)
+		if uOrig.Get(0) == uClone.Get(0) {
+			t.Fatalf("%s: clone state appears shared", o.Name())
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewMomentum(Constant(1), 0.9) },
+		func() Optimizer { return NewNesterov(Constant(1), 0.9) },
+		func() Optimizer { return NewAdamDefaults(Constant(0.1)) },
+	} {
+		o := mk()
+		g := grad(map[uint32]float64{0: 1})
+		first := o.Step(1, g).Get(0)
+		o.Step(2, g)
+		o.Reset()
+		again := o.Step(1, g).Get(0)
+		if math.Abs(first-again) > 1e-12 {
+			t.Fatalf("%s: Reset did not restore initial behaviour (%v vs %v)", o.Name(), first, again)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]Optimizer{
+		"sgd":      NewSGD(Constant(1)),
+		"momentum": NewMomentum(Constant(1), 0.9),
+		"nesterov": NewNesterov(Constant(1), 0.9),
+		"adam":     NewAdamDefaults(Constant(1)),
+	}
+	for want, o := range names {
+		if o.Name() != want {
+			t.Fatalf("Name = %s, want %s", o.Name(), want)
+		}
+	}
+}
+
+func TestUpdatesStaySparse(t *testing.T) {
+	r := xrand.New(1)
+	for _, o := range []Optimizer{
+		NewSGD(InvSqrt(0.1)),
+		NewMomentum(Constant(0.1), 0.9),
+		NewNesterov(Constant(0.1), 0.9),
+		NewAdamDefaults(Constant(0.1)),
+	} {
+		g := sparse.New()
+		for i := 0; i < 10; i++ {
+			g.Set(uint32(r.Intn(1000)), r.NormFloat64())
+		}
+		u := o.Step(1, g)
+		if u.Len() > g.Len() {
+			t.Fatalf("%s: update denser (%d) than gradient (%d)", o.Name(), u.Len(), g.Len())
+		}
+		u.ForEach(func(i uint32, _ float64) {
+			if g.Get(i) == 0 {
+				t.Errorf("%s: update touches coordinate %d absent from gradient", o.Name(), i)
+			}
+		})
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Factor: 0.5, Every: 10}
+	if s.Rate(1) != 1 || s.Rate(10) != 1 {
+		t.Fatalf("first stage: %v, %v", s.Rate(1), s.Rate(10))
+	}
+	if s.Rate(11) != 0.5 || s.Rate(20) != 0.5 {
+		t.Fatalf("second stage: %v, %v", s.Rate(11), s.Rate(20))
+	}
+	if s.Rate(21) != 0.25 {
+		t.Fatalf("third stage: %v", s.Rate(21))
+	}
+	if s.Rate(0) != 1 {
+		t.Fatal("non-positive step must clamp")
+	}
+	zero := StepDecay{Base: 2, Factor: 0.1, Every: 0}
+	if zero.Rate(1) != 2 {
+		t.Fatal("Every=0 must behave as Every=1 at t=1")
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	w := Warmup{Steps: 10, Then: Constant(1)}
+	if got := w.Rate(1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Rate(1) = %v", got)
+	}
+	if got := w.Rate(5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Rate(5) = %v", got)
+	}
+	if w.Rate(10) != 1 || w.Rate(100) != 1 {
+		t.Fatal("post-ramp rate wrong")
+	}
+	none := Warmup{Steps: 0, Then: Constant(3)}
+	if none.Rate(1) != 3 {
+		t.Fatal("zero-length warmup must delegate")
+	}
+}
+
+func TestWarmupMonotoneDuringRamp(t *testing.T) {
+	w := Warmup{Steps: 50, Then: Constant(0.7)}
+	prev := 0.0
+	for t0 := 1; t0 <= 50; t0++ {
+		r := w.Rate(t0)
+		if r < prev {
+			t.Fatalf("ramp decreased at %d", t0)
+		}
+		prev = r
+	}
+}

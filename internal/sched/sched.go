@@ -1,0 +1,264 @@
+// Package sched implements MLLess's scale-in auto-tuner (§4.2): a
+// dynamic, fine-grained scheduler that removes "unneeded" workers as
+// training progresses, exploiting the pay-per-use FaaS billing model to
+// cut cost without impairing convergence.
+//
+// Protocol, exactly as the paper describes it:
+//
+//  1. Observe the per-step loss (EWMA-smoothed) and step durations.
+//
+//  2. Detect the "knee" of the learning curve; never act before it.
+//
+//  3. At the knee, fit the reference curve L_P(t) (Eq. 2) on the history
+//     so far and record the reference step duration d_P; then remove the
+//     first worker.
+//
+//  4. At every subsequent scheduling epoch T, re-fit the slow-region
+//     curve ℓ_p(t) (Eq. 3) on the losses observed since the last
+//     removal, estimate the current step duration d_p, and compute the
+//     relative projected loss-reduction error over horizon Δ (Eq. 1):
+//
+//     s_Δ(t) = [ℓ_p(t+⌊Δ/d_p⌋) − L_P(t+⌊Δ/d_P⌋)] / L_P(t+⌊Δ/d_P⌋)
+//
+//     Remove another worker when s_Δ(t) < S.
+//
+// Sign convention: Eq. 1 in the paper is printed with the operands in
+// the other order, but its surrounding prose — s_Δ "tells how much the
+// convergence rate may worsen with p workers", can be negative "which
+// means that system throughput is indeed better as a result of removing
+// workers", and scaling down proceeds while s_Δ(t) < S for small
+// S ∈ [0, 1] — is only self-consistent when s_Δ measures the relative
+// *degradation* of the p-worker projection, i.e. positive when the
+// shrunk pool is projected to lag the reference and negative when the
+// communication savings outweigh the lost parallelism. This package
+// implements that semantics.
+package sched
+
+import (
+	"time"
+
+	"mlless/internal/fit"
+	"mlless/internal/knee"
+)
+
+// Config tunes the auto-tuner. Zero values select the paper's settings.
+type Config struct {
+	// Epoch is the scheduling interval T (paper: 20 s).
+	Epoch time.Duration
+	// Horizon is Δ, the look-ahead of the decision phase (paper: 10 s,
+	// half the epoch).
+	Horizon time.Duration
+	// S is the scale-down threshold on s_Δ(t) in [0, 1].
+	S float64
+	// LossAlpha is the EWMA smoothing factor applied to raw losses.
+	LossAlpha float64
+	// Knee selects the knee detector (default: the paper's
+	// slope-threshold heuristic).
+	Knee knee.Detector
+	// MinWorkers is the floor below which the tuner never scales
+	// (default 1).
+	MinWorkers int
+	// MinFitPoints is the number of post-removal observations required
+	// before re-fitting ℓ_p (default 8; Eq. 3 has 4 parameters).
+	MinFitPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 20 * time.Second
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = c.Epoch / 2
+	}
+	if c.S <= 0 {
+		c.S = 0.05
+	}
+	if c.LossAlpha <= 0 {
+		c.LossAlpha = 0.25
+	}
+	if c.Knee == nil {
+		c.Knee = knee.SlopeThreshold{}
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MinFitPoints < 4 {
+		c.MinFitPoints = 8
+	}
+	return c
+}
+
+// Decision reports one scheduling-epoch outcome for observability.
+type Decision struct {
+	// Step is the training step at decision time.
+	Step int
+	// Remove directs the engine to evict one worker.
+	Remove bool
+	// SDelta is the computed s_Δ(t) (NaN-free; only meaningful when a
+	// fit was possible).
+	SDelta float64
+	// Reason explains the outcome ("before-knee", "knee", "fit-pending",
+	// "s-below-threshold", "s-above-threshold", "at-min-workers").
+	Reason string
+}
+
+// Tuner is the scale-in scheduler. Not safe for concurrent use: the
+// supervisor owns it.
+type Tuner struct {
+	cfg Config
+
+	smoother *fit.EWMA
+	losses   []float64 // smoothed loss per step (index = step-1)
+
+	kneeFound bool
+	kneeStep  int
+	refCurve  fit.Fitted
+	refDur    time.Duration // d_P
+
+	lastRemovalStep int
+	durSinceSum     time.Duration // step-duration sum since last removal
+	durSinceCount   int
+
+	totalDur   time.Duration // duration sum since start (for d_P)
+	totalSteps int
+
+	lastEpochAt time.Duration
+	decisions   []Decision
+}
+
+// New returns a tuner for a job that starts with initialWorkers workers.
+func New(cfg Config) *Tuner {
+	cfg = cfg.withDefaults()
+	return &Tuner{cfg: cfg, smoother: fit.NewEWMA(cfg.LossAlpha)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// Observe records the global loss and duration of step (1-based). It
+// returns the smoothed loss.
+func (t *Tuner) Observe(step int, loss float64, stepDur time.Duration) float64 {
+	s := t.smoother.Update(loss)
+	t.losses = append(t.losses, s)
+	t.totalDur += stepDur
+	t.totalSteps++
+	t.durSinceSum += stepDur
+	t.durSinceCount++
+	return s
+}
+
+// SmoothedLosses exposes the smoothed loss history (shared slice; do not
+// mutate).
+func (t *Tuner) SmoothedLosses() []float64 { return t.losses }
+
+// KneeStep returns the detected knee step (0, false before detection).
+func (t *Tuner) KneeStep() (int, bool) { return t.kneeStep, t.kneeFound }
+
+// ReferenceCurve returns the fitted L_P (valid after the knee).
+func (t *Tuner) ReferenceCurve() (fit.Fitted, bool) { return t.refCurve, t.kneeFound }
+
+// Decisions returns the log of epoch decisions.
+func (t *Tuner) Decisions() []Decision { return t.decisions }
+
+// avgDur computes d_p: mean step duration since the last removal.
+func (t *Tuner) avgDur() time.Duration {
+	if t.durSinceCount == 0 {
+		return 0
+	}
+	return t.durSinceSum / time.Duration(t.durSinceCount)
+}
+
+// NotifyRemoval informs the tuner that the engine honoured a removal at
+// the given step, resetting the post-removal observation window.
+func (t *Tuner) NotifyRemoval(step int) {
+	t.lastRemovalStep = step
+	t.durSinceSum = 0
+	t.durSinceCount = 0
+}
+
+// Decide runs one scheduling epoch at virtual time now, with the current
+// training step and worker count. The engine must call NotifyRemoval when
+// it honours a Remove decision.
+func (t *Tuner) Decide(now time.Duration, step, workers int) Decision {
+	if now-t.lastEpochAt < t.cfg.Epoch {
+		return Decision{Step: step, Reason: "epoch-pending"}
+	}
+	t.lastEpochAt = now
+
+	d := t.decide(step, workers)
+	t.decisions = append(t.decisions, d)
+	return d
+}
+
+func (t *Tuner) decide(step, workers int) Decision {
+	if workers <= t.cfg.MinWorkers {
+		return Decision{Step: step, Reason: "at-min-workers"}
+	}
+
+	// Phase 0: knee detection. The first removal happens at the knee
+	// (§4.2: "After estimation of these quantities, the scheduler
+	// removes the worker with the lowest-quality replica").
+	if !t.kneeFound {
+		idx, ok := t.cfg.Knee.Detect(t.losses)
+		if !ok {
+			return Decision{Step: step, Reason: "before-knee"}
+		}
+		// Fit the reference curve on the full history collected so far
+		// ("uses the history of loss values at this time", §4.2).
+		ts := make([]float64, len(t.losses))
+		for i := range ts {
+			ts[i] = float64(i + 1)
+		}
+		ref, err := fit.FitCurve(fit.ReferenceCurve{}, ts, t.losses, fit.FitOptions{})
+		if err != nil {
+			return Decision{Step: step, Reason: "before-knee"}
+		}
+		t.kneeFound = true
+		t.kneeStep = idx + 1
+		t.refCurve = ref
+		if t.totalSteps > 0 {
+			t.refDur = t.totalDur / time.Duration(t.totalSteps)
+		}
+		return Decision{Step: step, Remove: true, Reason: "knee"}
+	}
+
+	// Estimation phase: re-fit ℓ_p on losses since the last removal.
+	start := t.lastRemovalStep // 1-based step of removal; losses after it
+	if start < 0 {
+		start = 0
+	}
+	if len(t.losses)-start < t.cfg.MinFitPoints {
+		return Decision{Step: step, Reason: "fit-pending"}
+	}
+	ts := make([]float64, 0, len(t.losses)-start)
+	ys := make([]float64, 0, len(t.losses)-start)
+	for i := start; i < len(t.losses); i++ {
+		ts = append(ts, float64(i+1))
+		ys = append(ys, t.losses[i])
+	}
+	cur, err := fit.FitCurve(fit.SlowCurve{}, ts, ys, fit.FitOptions{})
+	if err != nil {
+		return Decision{Step: step, Reason: "fit-pending"}
+	}
+
+	// Decision phase: Eq. 1.
+	dP, dp := t.refDur, t.avgDur()
+	if dP <= 0 || dp <= 0 {
+		return Decision{Step: step, Reason: "fit-pending"}
+	}
+	refSteps := float64(step) + float64(t.cfg.Horizon/dP)
+	curSteps := float64(step) + float64(t.cfg.Horizon/dp)
+	lRef := t.refCurve.Eval(refSteps)
+	lCur := cur.Eval(curSteps)
+	if lRef == 0 {
+		return Decision{Step: step, Reason: "fit-pending"}
+	}
+	// Relative degradation of the current pool vs the reference (see the
+	// package comment for the sign convention).
+	s := (lCur - lRef) / lRef
+
+	if s < t.cfg.S {
+		return Decision{Step: step, Remove: true, SDelta: s, Reason: "s-below-threshold"}
+	}
+	return Decision{Step: step, SDelta: s, Reason: "s-above-threshold"}
+}

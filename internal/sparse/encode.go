@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layout of an encoded sparse vector:
+//
+//	uint32 count
+//	count × (uint32 index, float64 value), indices ascending
+//
+// and of an encoded dense vector:
+//
+//	uint32 length
+//	length × float64
+//
+// The sizes returned by EncodedSize/DenseEncodedSize are what the
+// simulated network links charge for, so they intentionally match a
+// realistic wire format rather than Go's in-memory representation.
+
+const (
+	sparseHeaderSize = 4
+	sparseEntrySize  = 12 // uint32 index + float64 value
+	denseHeaderSize  = 4
+	denseEntrySize   = 8
+)
+
+// EncodedSize returns the number of bytes Encode will produce.
+func (v *Vector) EncodedSize() int {
+	return sparseHeaderSize + sparseEntrySize*v.Len()
+}
+
+// EncodedSizeFor returns the encoded size of a sparse vector with nnz
+// non-zero entries without materializing one.
+func EncodedSizeFor(nnz int) int {
+	return sparseHeaderSize + sparseEntrySize*nnz
+}
+
+// Encode serializes the vector with ascending indices (deterministic).
+func (v *Vector) Encode() []byte {
+	buf := make([]byte, v.EncodedSize())
+	binary.LittleEndian.PutUint32(buf, uint32(v.Len()))
+	off := sparseHeaderSize
+	v.ForEachSorted(func(i uint32, val float64) {
+		binary.LittleEndian.PutUint32(buf[off:], i)
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(val))
+		off += sparseEntrySize
+	})
+	return buf
+}
+
+// Decode parses a vector produced by Encode.
+func Decode(buf []byte) (*Vector, error) {
+	if len(buf) < sparseHeaderSize {
+		return nil, fmt.Errorf("sparse: decode: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	want := sparseHeaderSize + sparseEntrySize*n
+	if len(buf) != want {
+		return nil, fmt.Errorf("sparse: decode: length %d, want %d for %d entries", len(buf), want, n)
+	}
+	v := NewWithCapacity(n)
+	off := sparseHeaderSize
+	for k := 0; k < n; k++ {
+		i := binary.LittleEndian.Uint32(buf[off:])
+		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		v.Set(i, val)
+		off += sparseEntrySize
+	}
+	return v, nil
+}
+
+// AddEncoded streams an encoded sparse vector (the Encode layout)
+// directly into the dense accumulator d without materializing a map:
+// the hot path for applying peer updates. Indices outside d are ignored,
+// matching Dense.AddSparse. It returns the number of entries applied.
+func AddEncoded(d Dense, buf []byte) (int, error) {
+	if len(buf) < sparseHeaderSize {
+		return 0, fmt.Errorf("sparse: apply encoded: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	want := sparseHeaderSize + sparseEntrySize*n
+	if len(buf) != want {
+		return 0, fmt.Errorf("sparse: apply encoded: length %d, want %d for %d entries", len(buf), want, n)
+	}
+	off := sparseHeaderSize
+	for k := 0; k < n; k++ {
+		i := binary.LittleEndian.Uint32(buf[off:])
+		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		if int(i) < len(d) {
+			d[i] += val
+		}
+		off += sparseEntrySize
+	}
+	return n, nil
+}
+
+// DenseEncodedSize returns the encoded size of a dense vector of length n.
+func DenseEncodedSize(n int) int {
+	return denseHeaderSize + denseEntrySize*n
+}
+
+// Encode serializes the dense vector.
+func (d Dense) Encode() []byte {
+	buf := make([]byte, DenseEncodedSize(len(d)))
+	binary.LittleEndian.PutUint32(buf, uint32(len(d)))
+	off := denseHeaderSize
+	for _, val := range d {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(val))
+		off += denseEntrySize
+	}
+	return buf
+}
+
+// DecodeDense parses a vector produced by Dense.Encode.
+func DecodeDense(buf []byte) (Dense, error) {
+	if len(buf) < denseHeaderSize {
+		return nil, fmt.Errorf("sparse: decode dense: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	want := DenseEncodedSize(n)
+	if len(buf) != want {
+		return nil, fmt.Errorf("sparse: decode dense: length %d, want %d for %d elements", len(buf), want, n)
+	}
+	d := make(Dense, n)
+	off := denseHeaderSize
+	for i := 0; i < n; i++ {
+		d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += denseEntrySize
+	}
+	return d, nil
+}

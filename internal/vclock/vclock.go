@@ -1,0 +1,69 @@
+// Package vclock provides the virtual time base of the MLLess simulator.
+//
+// The reproduction runs the paper's ML algorithms for real but derives
+// elapsed wall-clock time analytically: every simulated component (FaaS
+// worker, storage service, broker) charges durations to a Clock instead
+// of sleeping. Per-worker clocks advance independently within a training
+// step and are reconciled at BSP barriers, which yields exactly the
+// "slowest worker paces the step" semantics of the paper's Bulk
+// Synchronous Parallel execution (§3.1).
+package vclock
+
+import "time"
+
+// Clock is a virtual clock. The zero value is a clock at time zero,
+// ready to use. Clock is not safe for concurrent use; in the simulator
+// each worker owns its clock exclusively within a step and barriers are
+// performed by the single-threaded step engine.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual
+// time never flows backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only test code and job setup should
+// call it.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Barrier synchronizes a set of clocks at a BSP boundary: every clock is
+// advanced to the maximum of the set, and that time is returned. An empty
+// set returns zero.
+func Barrier(clocks []*Clock) time.Duration {
+	var max time.Duration
+	for _, c := range clocks {
+		if c.now > max {
+			max = c.now
+		}
+	}
+	for _, c := range clocks {
+		c.AdvanceTo(max)
+	}
+	return max
+}
+
+// Max returns the latest time among the clocks without synchronizing them.
+func Max(clocks []*Clock) time.Duration {
+	var max time.Duration
+	for _, c := range clocks {
+		if c.now > max {
+			max = c.now
+		}
+	}
+	return max
+}

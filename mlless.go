@@ -1,0 +1,247 @@
+// Package mlless is a from-scratch Go reproduction of MLLess, the
+// FaaS-based machine-learning training system of Sánchez-Artigas and
+// Gimeno Sarroca, "Experience Paper: Towards Enhancing Cost Efficiency
+// in Serverless Machine Learning Training" (Middleware '21).
+//
+// The package trains real models (sparse logistic regression, matrix
+// factorization) with real SGD mathematics over a simulated serverless
+// cloud: a FaaS platform with cold starts, memory-proportional CPU and
+// per-GB-second billing; a Redis-like key-value store carrying model
+// updates; a broker carrying control messages; and an object store
+// holding mini-batches. Wall-clock time and dollar costs are produced by
+// a calibrated analytical model driven by the real byte counts and
+// floating-point work of the algorithms.
+//
+// The paper's two optimizations are implemented faithfully:
+//
+//   - the ISP significance filter (§4.1), which withholds per-parameter
+//     updates until their accumulated relative magnitude exceeds the
+//     decaying threshold v/√t;
+//   - the scale-in auto-tuner (§4.2), which detects the knee of the loss
+//     curve, fits the paper's learning-curve families, and evicts workers
+//     whose marginal contribution no longer justifies their cost.
+//
+// Quickstart:
+//
+//	cluster := mlless.NewCluster()
+//	ds := mlless.GenerateCriteo(mlless.DefaultCriteoConfig())
+//	n := mlless.StageDataset(cluster, ds, "train", 1250, 1)
+//	job := mlless.Job{
+//		Spec:       mlless.Spec{Workers: 12, Sync: mlless.ISP, Significance: 0.7, TargetLoss: 0.58},
+//		Model:      mlless.NewLogReg(ds.FeatureDim, 1e-4),
+//		Optimizer:  mlless.NewAdam(mlless.Constant(0.01)),
+//		Bucket:     "train",
+//		NumBatches: n,
+//		BatchSize:  1250,
+//	}
+//	result, err := mlless.Train(cluster, job)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package mlless
+
+import (
+	"mlless/internal/baseline/pywren"
+	"mlless/internal/baseline/serverful"
+	"mlless/internal/consistency"
+	"mlless/internal/core"
+	"mlless/internal/cost"
+	"mlless/internal/dataset"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/sched"
+	"mlless/internal/sparse"
+	"mlless/internal/vclock"
+)
+
+// Core types.
+type (
+	// Cluster bundles the simulated cloud services one or more jobs run
+	// against.
+	Cluster = core.Cluster
+	// Job couples a Spec with a model, optimizer and staged dataset.
+	Job = core.Job
+	// Spec is the tunable configuration of a training job.
+	Spec = core.Spec
+	// Result is the outcome of a training run: convergence, virtual
+	// time, loss history, evictions and the itemized bill.
+	Result = core.Result
+	// LossPoint is one step of the training trace.
+	LossPoint = core.LossPoint
+	// Removal records one auto-tuner eviction.
+	Removal = core.Removal
+	// ComputeModel converts floating-point work to virtual time.
+	ComputeModel = core.ComputeModel
+	// SchedulerConfig tunes the scale-in auto-tuner (§4.2). The zero
+	// value selects the paper's settings (epoch 20 s, Δ 10 s).
+	SchedulerConfig = sched.Config
+	// CostReport is an itemized bill.
+	CostReport = cost.Report
+	// CostComponent is one billed element.
+	CostComponent = cost.Component
+)
+
+// ML types.
+type (
+	// Model is a trainable ML model over a flat parameter vector;
+	// implement it to train custom models on MLLess.
+	Model = model.Model
+	// Optimizer turns mini-batch gradients into parameter updates.
+	Optimizer = optimizer.Optimizer
+	// Schedule is a learning-rate schedule.
+	Schedule = optimizer.Schedule
+	// Constant is a fixed learning rate.
+	Constant = optimizer.Constant
+	// InvSqrt decays the rate as η/√t (Theorem 1's schedule).
+	InvSqrt = optimizer.InvSqrt
+	// StepDecay multiplies the rate by Factor every Every steps.
+	StepDecay = optimizer.StepDecay
+	// Warmup linearly ramps the rate before delegating to a schedule.
+	Warmup = optimizer.Warmup
+	// Vector is a sparse float64 vector (gradients, updates).
+	Vector = sparse.Vector
+	// Dense is a dense float64 vector (model parameters).
+	Dense = sparse.Dense
+)
+
+// Data types.
+type (
+	// Dataset is an in-memory training dataset.
+	Dataset = dataset.Dataset
+	// Sample is one training example.
+	Sample = dataset.Sample
+	// CriteoConfig parameterizes the synthetic Criteo-like generator.
+	CriteoConfig = dataset.CriteoConfig
+	// MovieLensConfig parameterizes the synthetic MovieLens-like
+	// generator.
+	MovieLensConfig = dataset.MovieLensConfig
+)
+
+// Baseline types.
+type (
+	// ServerfulConfig parameterizes the PyTorch-like IaaS baseline.
+	ServerfulConfig = serverful.Config
+	// PyWrenConfig parameterizes the PyWren-IBM-like baseline.
+	PyWrenConfig = pywren.Config
+)
+
+// SyncMode selects the synchronization model.
+type SyncMode = consistency.Mode
+
+// FilterVariant selects the significance-filter design (ablations).
+type FilterVariant = consistency.Variant
+
+// Significance-filter designs; FilterAccumulate is the paper's (§4.1).
+const (
+	FilterAccumulate = consistency.Accumulate
+	FilterDrop       = consistency.Drop
+	FilterNoDecay    = consistency.NoDecay
+)
+
+// Synchronization models (§3.1, §4.1).
+const (
+	// BSP is Bulk Synchronous Parallel: every update propagates every
+	// step.
+	BSP = consistency.BSP
+	// ISP is Insignificance-bounded Synchronous Parallel: only
+	// significant accumulated updates propagate.
+	ISP = consistency.ISP
+)
+
+// NewCluster builds a simulated deployment with the paper's link
+// parameters and FaaS limits.
+func NewCluster() *Cluster { return core.NewCluster() }
+
+// Train runs a job on the cluster with the MLLess engine.
+func Train(cl *Cluster, job Job) (*Result, error) { return core.Run(cl, job) }
+
+// TrainServerful runs the job on the PyTorch-like VM baseline (§6.1).
+func TrainServerful(cl *Cluster, job Job, cfg ServerfulConfig) (*Result, error) {
+	return serverful.Train(cl.COS, job, cfg)
+}
+
+// DefaultServerfulConfig returns the calibrated IaaS baseline settings.
+func DefaultServerfulConfig() ServerfulConfig { return serverful.DefaultConfig() }
+
+// TrainPyWren runs the job on the PyWren-IBM-like map-reduce baseline.
+func TrainPyWren(cl *Cluster, job Job, cfg PyWrenConfig) (*Result, error) {
+	return pywren.Train(cl.Platform, cl.COS, job, cfg)
+}
+
+// DefaultPyWrenConfig returns the calibrated map-reduce baseline
+// settings.
+func DefaultPyWrenConfig() PyWrenConfig { return pywren.DefaultConfig() }
+
+// Models.
+
+// NewLogReg builds sparse binary logistic regression over dim input
+// features with active-coordinate L2 strength l2.
+func NewLogReg(dim int, l2 float64) Model { return model.NewLogReg(dim, l2) }
+
+// NewPMF builds probabilistic matrix factorization of a users×items
+// rating matrix at the given rank, with global mean, factor L2 and a
+// deterministic init seed.
+func NewPMF(users, items, rank int, mean, l2 float64, seed uint64) Model {
+	return model.NewPMF(users, items, rank, mean, l2, seed)
+}
+
+// NewSVM builds a sparse linear SVM (hinge loss) over dim features with
+// active-coordinate L2 strength l2.
+func NewSVM(dim int, l2 float64) Model { return model.NewSVM(dim, l2) }
+
+// Optimizers (§5: "the models and optimizers (SGD, SGD with momentum,
+// ADAM, etc.)").
+
+// NewSGD returns plain SGD.
+func NewSGD(lr Schedule) Optimizer { return optimizer.NewSGD(lr) }
+
+// NewMomentum returns SGD with heavy-ball momentum μ.
+func NewMomentum(lr Schedule, mu float64) Optimizer { return optimizer.NewMomentum(lr, mu) }
+
+// NewNesterov returns SGD with Nesterov momentum μ (Table 1's PMF
+// optimizer).
+func NewNesterov(lr Schedule, mu float64) Optimizer { return optimizer.NewNesterov(lr, mu) }
+
+// NewAdam returns Adam with canonical hyperparameters (Table 1's LR
+// optimizer).
+func NewAdam(lr Schedule) Optimizer { return optimizer.NewAdamDefaults(lr) }
+
+// Datasets.
+
+// DefaultCriteoConfig returns the Criteo-shaped generator settings.
+func DefaultCriteoConfig() CriteoConfig { return dataset.DefaultCriteoConfig() }
+
+// MovieLens10MScale returns the MovieLens-10M-shaped generator settings.
+func MovieLens10MScale() MovieLensConfig { return dataset.MovieLens10MScale() }
+
+// MovieLens20MScale returns the MovieLens-20M-shaped generator settings.
+func MovieLens20MScale() MovieLensConfig { return dataset.MovieLens20MScale() }
+
+// GenerateCriteo produces a synthetic click-prediction dataset with the
+// Criteo shape (13 numeric + 26 hashed categorical features).
+func GenerateCriteo(cfg CriteoConfig) *Dataset {
+	ds := dataset.GenerateCriteo(cfg)
+	return ds
+}
+
+// GenerateMovieLens produces a synthetic ratings dataset with
+// MovieLens-like statistics.
+func GenerateMovieLens(cfg MovieLensConfig) *Dataset {
+	return dataset.GenerateMovieLens(cfg)
+}
+
+// StageDataset shuffles ds deterministically into mini-batches of size
+// batchSize and uploads them to the cluster's object store under bucket,
+// returning the staged batch count. For Criteo-shaped data, run
+// NormalizeDataset first.
+func StageDataset(cl *Cluster, ds *Dataset, bucket string, batchSize int, seed uint64) int {
+	var clk vclock.Clock
+	return dataset.Stage(ds, cl.COS, &clk, bucket, batchSize, seed)
+}
+
+// NormalizeDataset min-max scales the numeric features of staged
+// mini-batches via the two-pass map-reduce of §3.2.
+func NormalizeDataset(cl *Cluster, bucket string, numBatches, numericFeatures int) error {
+	var clk vclock.Clock
+	return dataset.NormalizeMinMax(cl.COS, &clk, bucket, numBatches, numericFeatures)
+}
