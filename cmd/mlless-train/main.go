@@ -41,6 +41,16 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "dataset seed")
 		quiet     = flag.Bool("quiet", false, "suppress per-step progress")
 		jsonOut   = flag.String("json", "", "write the full result (trace, evictions, bill) as JSON to this file")
+
+		faultSeed      = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
+		faultInvoke    = flag.Float64("fault-invoke", 0, "transient invocation failure probability")
+		faultStraggler = flag.Float64("fault-straggler", 0, "cold-start straggler probability (heavy-tailed multiplier)")
+		faultReclaim   = flag.Float64("fault-reclaim", 0, "mid-run container reclamation probability per invocation")
+		reclaimLife    = flag.Duration("fault-reclaim-life", 0, "mean container lifetime when reclaimed (0 = default 5m)")
+		faultKV        = flag.Float64("fault-kv", 0, "per-operation KV store failure probability")
+		faultKVSlow    = flag.Float64("fault-kv-slow", 0, "per-operation KV store latency-spike probability")
+		faultMQ        = flag.Float64("fault-mq", 0, "per-operation broker failure probability")
+		faultMQSlow    = flag.Float64("fault-mq-slow", 0, "per-operation broker latency-spike probability")
 	)
 	flag.Parse()
 
@@ -62,6 +72,17 @@ func run() error {
 		job.Spec.Significance = *sig
 	default:
 		return fmt.Errorf("unknown sync model %q", *sync)
+	}
+	job.Spec.Faults = mlless.FaultSpec{
+		Seed:            *faultSeed,
+		InvokeFailProb:  *faultInvoke,
+		StragglerProb:   *faultStraggler,
+		ReclaimProb:     *faultReclaim,
+		ReclaimMeanLife: *reclaimLife,
+		KVFailProb:      *faultKV,
+		KVSlowProb:      *faultKVSlow,
+		MQFailProb:      *faultMQ,
+		MQSlowProb:      *faultMQSlow,
 	}
 
 	fmt.Printf("training %s on %s: P=%d B=%d sync=%s autotune=%v system=%s\n",
@@ -95,6 +116,11 @@ func run() error {
 	}
 	fmt.Printf("done: converged=%v steps=%d exec=%v final-loss=%.4f relaunches=%d\n",
 		res.Converged, res.Steps, res.ExecTime.Round(time.Millisecond), res.FinalLoss, res.Relaunches)
+	if rec := res.Recovery; rec != (mlless.Recovery{}) {
+		fmt.Printf("recovery: deaths=%d invoke-retries=%d restart=%v recompute=%v\n",
+			rec.WorkerDeaths, rec.InvokeRetries,
+			rec.RestartTime.Round(time.Millisecond), rec.RecomputeTime.Round(time.Millisecond))
+	}
 	fmt.Println("bill:")
 	fmt.Print(res.Cost)
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"mlless/internal/cost"
 	"mlless/internal/dataset"
 	"mlless/internal/faas"
+	"mlless/internal/faults"
 	"mlless/internal/fit"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
@@ -25,6 +27,19 @@ import (
 // state to storage and re-launch it").
 const relaunchMargin = 30 * time.Second
 
+// Invocation retry policy: transiently failed invocations (injected by
+// the fault layer) back off exponentially in virtual time, starting at
+// invokeRetryBase and giving up after maxInvokeAttempts.
+const (
+	invokeRetryBase   = 100 * time.Millisecond
+	maxInvokeAttempts = 8
+)
+
+// maxConsecutiveDeaths bounds back-to-back reclamations of one worker
+// inside a single step, so a pathological reclaim probability turns
+// into an error instead of an unbounded recovery loop.
+const maxConsecutiveDeaths = 10
+
 // workerState is one serverless worker: its function instance, its local
 // model replica, optimizer and significance filter (§3.1).
 type workerState struct {
@@ -37,6 +52,7 @@ type workerState struct {
 	lastLoss     float64
 	pendingMerge string // eviction-replica key to average in next step
 	alive        bool
+	gen          int // relaunch/recovery generation; distinguishes billing labels
 }
 
 type engine struct {
@@ -46,16 +62,24 @@ type engine struct {
 
 	workers []*workerState
 	sup     *faas.Instance
+	supGen  int
 	plan    dataset.Plan
 	batches *dataset.Cache
 
 	smoother *fit.EWMA
 	tuner    *sched.Tuner
 	meter    cost.Meter
+	faults   *faults.Injector
 
-	history    []LossPoint
-	removals   []Removal
+	history     []LossPoint
+	removals    []Removal
+	evictExpire []string // consumed eviction-replica keys awaiting TTL expiry
+
+	// recMu guards the relaunch and recovery counters, which concurrent
+	// phase goroutines update.
+	recMu      sync.Mutex
 	relaunches int
+	recovery   Recovery
 
 	totalUpdateBytes int64
 	prevBarrier      time.Duration
@@ -81,6 +105,20 @@ func Run(cl *Cluster, job Job) (*Result, error) {
 		id:       cl.nextJobID(),
 		smoother: fit.NewEWMA(job.Spec.LossAlpha),
 	}
+	if job.Spec.Faults.Enabled() {
+		// Install the seeded injector on every substrate for the
+		// duration of the run; decisions are pure functions of the spec
+		// seed and each operation's identity, so the run is reproducible.
+		e.faults = faults.New(job.Spec.Faults)
+		cl.Platform.SetFaults(e.faults)
+		cl.Redis.SetFaults(e.faults)
+		cl.Broker.SetFaults(e.faults)
+		defer func() {
+			cl.Platform.SetFaults(nil)
+			cl.Redis.SetFaults(nil)
+			cl.Broker.SetFaults(nil)
+		}()
+	}
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
@@ -104,10 +142,28 @@ func (e *engine) lossQueue() string          { return e.id + "/losses" }
 func (e *engine) annExchange() string        { return e.id + "/ann" }
 func (e *engine) annQueue(worker int) string { return fmt.Sprintf("%s/ann/%d", e.id, worker) }
 
+// workerName labels a worker's function for billing. Each relaunch or
+// recovery generation gets a distinct suffix so re-launched runs never
+// collide on a billing label.
+func (e *engine) workerName(id, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("%s/worker-%d", e.id, id)
+	}
+	return fmt.Sprintf("%s/worker-%d-r%d", e.id, id, gen)
+}
+
+// supName is workerName for the supervisor.
+func (e *engine) supName() string {
+	if e.supGen == 0 {
+		return e.id + "/supervisor"
+	}
+	return fmt.Sprintf("%s/supervisor-r%d", e.id, e.supGen)
+}
+
 func (e *engine) setup() error {
 	spec := e.job.Spec
 
-	sup, err := e.cl.Platform.Invoke(e.id+"/supervisor", spec.MemoryMiB, 0)
+	sup, err := e.invokeAt(e.supName(), spec.MemoryMiB, 0, false)
 	if err != nil {
 		return fmt.Errorf("core: launch supervisor: %w", err)
 	}
@@ -122,7 +178,7 @@ func (e *engine) setup() error {
 	}
 	e.workers = make([]*workerState, spec.Workers)
 	for i := range e.workers {
-		inst, err := e.cl.Platform.Invoke(fmt.Sprintf("%s/worker-%d", e.id, i), spec.MemoryMiB, 0)
+		inst, err := e.invokeAt(e.workerName(i, 0), spec.MemoryMiB, 0, false)
 		if err != nil {
 			return fmt.Errorf("core: launch worker %d: %w", i, err)
 		}
@@ -177,9 +233,103 @@ func (e *engine) chargeCompute(w *workerState, flops float64) {
 	w.inst.Clock.Advance(time.Duration(secs * float64(time.Second)))
 }
 
+// invokeAt launches a function at virtual time at, retrying attempts
+// that fail with an injected transient error. Each retry backs off
+// exponentially in virtual time, so the successful attempt (and every
+// charge after it) starts later; the backoff is recorded as restart
+// overhead. Non-injected errors and attempts beyond maxInvokeAttempts
+// are returned as-is.
+func (e *engine) invokeAt(name string, memoryMiB int, at time.Duration, cold bool) (*faas.Instance, error) {
+	backoff := invokeRetryBase
+	for attempt := 1; ; attempt++ {
+		var inst *faas.Instance
+		var err error
+		if cold {
+			inst, err = e.cl.Platform.InvokeCold(name, memoryMiB, at)
+		} else {
+			inst, err = e.cl.Platform.Invoke(name, memoryMiB, at)
+		}
+		if err == nil {
+			return inst, nil
+		}
+		if !errors.Is(err, faults.ErrInjected) || attempt == maxInvokeAttempts {
+			return nil, err
+		}
+		e.recMu.Lock()
+		e.recovery.InvokeRetries++
+		e.recovery.RestartTime += backoff
+		e.recMu.Unlock()
+		at += backoff
+		backoff *= 2
+	}
+}
+
+// dead reports whether the instance's container has been reclaimed by
+// the provider: its clock has caught up with the reclaim instant, so
+// any work charged past that point is void.
+func dead(inst *faas.Instance) bool {
+	return inst.ReclaimAt > 0 && inst.Clock.Now() >= inst.ReclaimAt
+}
+
+// recoverWorker replaces a worker whose container the provider
+// reclaimed. The dead run is billed up to the reclaim point, a
+// replacement boots cold (the platform just withdrew capacity, so no
+// warm container is assumed — which also keeps concurrent recoveries
+// off the bounded warm pool), and the replica state (parameters plus
+// optimizer moments) is re-downloaded. Boot and download land in
+// Recovery.RestartTime.
+func (e *engine) recoverWorker(w *workerState) error {
+	deadAt := w.inst.ReclaimAt
+	mem := w.inst.MemoryMiB
+	if err := e.cl.Platform.Reclaim(w.inst, &e.meter); err != nil {
+		return fmt.Errorf("core: reclaim worker %d: %w", w.id, err)
+	}
+	w.gen++
+	inst, err := e.invokeAt(e.workerName(w.id, w.gen), mem, deadAt, true)
+	if err != nil {
+		return fmt.Errorf("core: recover worker %d: %w", w.id, err)
+	}
+	w.inst = inst
+	// Parameters plus optimizer state (~2x params, as in maybeRelaunch);
+	// charged, not materialized — the in-memory replica already holds
+	// the restored state.
+	state := sparse.DenseEncodedSize(w.model.NumParams())
+	w.inst.Clock.Advance(2 * e.cl.Redis.TransferTime(state))
+	e.recMu.Lock()
+	e.recovery.WorkerDeaths++
+	e.recovery.RestartTime += w.inst.Clock.Now() - deadAt
+	e.recMu.Unlock()
+	return nil
+}
+
+// redoSegmentOnDeath is the mid-step recovery loop: while the worker's
+// container is dead, recover onto a fresh one and recharge the time the
+// segment took. The math is deterministic and the replica state is
+// restored from the checkpoint, so only time — not results — must be
+// redone. segStart is when the segment began on the then-current
+// instance; the redone work lands in Recovery.RecomputeTime.
+func (e *engine) redoSegmentOnDeath(w *workerState, segStart time.Duration, what string) error {
+	for deaths := 0; dead(w.inst); {
+		if deaths++; deaths > maxConsecutiveDeaths {
+			return fmt.Errorf("core: worker %d: %d consecutive reclamations during %s: %w",
+				w.id, deaths-1, what, faults.ErrInjected)
+		}
+		redo := w.inst.Clock.Now() - segStart
+		if err := e.recoverWorker(w); err != nil {
+			return err
+		}
+		segStart = w.inst.Clock.Now()
+		w.inst.Clock.Advance(redo)
+		e.recMu.Lock()
+		e.recovery.RecomputeTime += redo
+		e.recMu.Unlock()
+	}
+	return nil
+}
+
 // maybeRelaunch checkpoints and re-launches a worker approaching the
-// platform's execution limit, charging the checkpoint transfer, the cold
-// start and the state download.
+// platform's execution limit, charging the checkpoint transfer, the
+// start latency and the state download.
 func (e *engine) maybeRelaunch(w *workerState) error {
 	cfg := e.cl.Platform.Config()
 	if cfg.MaxDuration <= 0 || w.inst.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
@@ -192,21 +342,26 @@ func (e *engine) maybeRelaunch(w *workerState) error {
 	e.cl.Redis.Set(&w.inst.Clock, e.ckptKey(w.id), payload)
 	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
 	resumeAt := w.inst.Clock.Now()
-	e.billInstance(w.inst)
-	if err := e.cl.Platform.Terminate(w.inst); err != nil {
+	mem := w.inst.MemoryMiB
+	if err := e.cl.Platform.TerminateInto(w.inst, &e.meter); err != nil {
 		return fmt.Errorf("core: relaunch terminate worker %d: %w", w.id, err)
 	}
-	inst, err := e.cl.Platform.Invoke(fmt.Sprintf("%s/worker-%d-r", e.id, w.id), w.inst.MemoryMiB, resumeAt)
+	w.gen++
+	inst, err := e.invokeAt(e.workerName(w.id, w.gen), mem, resumeAt, false)
 	if err != nil {
 		return fmt.Errorf("core: relaunch worker %d: %w", w.id, err)
 	}
 	w.inst = inst
-	// Download the checkpoint into the fresh instance.
+	// Download the checkpoint into the fresh instance, then delete it:
+	// consumed checkpoints must not accumulate in the store.
 	if _, ok := e.cl.Redis.Get(&w.inst.Clock, e.ckptKey(w.id)); !ok {
 		return fmt.Errorf("core: relaunch worker %d: checkpoint vanished", w.id)
 	}
 	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
+	e.cl.Redis.Delete(&w.inst.Clock, e.ckptKey(w.id))
+	e.recMu.Lock()
 	e.relaunches++
+	e.recMu.Unlock()
 	return nil
 }
 
@@ -223,11 +378,12 @@ func (e *engine) maybeRelaunchSup() error {
 	ckpt := make([]byte, 24*len(e.history)+1024)
 	e.cl.Redis.Set(&e.sup.Clock, e.id+"/sup-ckpt", ckpt)
 	resumeAt := e.sup.Clock.Now()
-	e.billInstance(e.sup)
-	if err := e.cl.Platform.Terminate(e.sup); err != nil {
+	mem := e.sup.MemoryMiB
+	if err := e.cl.Platform.TerminateInto(e.sup, &e.meter); err != nil {
 		return fmt.Errorf("core: relaunch supervisor: %w", err)
 	}
-	sup, err := e.cl.Platform.Invoke(e.id+"/supervisor-r", e.sup.MemoryMiB, resumeAt)
+	e.supGen++
+	sup, err := e.invokeAt(e.supName(), mem, resumeAt, false)
 	if err != nil {
 		return fmt.Errorf("core: relaunch supervisor: %w", err)
 	}
@@ -235,16 +391,52 @@ func (e *engine) maybeRelaunchSup() error {
 	if _, ok := e.cl.Redis.Get(&e.sup.Clock, e.id+"/sup-ckpt"); !ok {
 		return fmt.Errorf("core: relaunch supervisor: checkpoint vanished")
 	}
+	e.cl.Redis.Delete(&e.sup.Clock, e.id+"/sup-ckpt")
+	e.recMu.Lock()
 	e.relaunches++
+	e.recMu.Unlock()
+	return nil
+}
+
+// recoverSup is recoverWorker for the supervisor. Its state (loss
+// history and tuner counters) is small, so the restart cost is the boot
+// plus a checkpoint-sized read.
+func (e *engine) recoverSup() error {
+	deadAt := e.sup.ReclaimAt
+	mem := e.sup.MemoryMiB
+	if err := e.cl.Platform.Reclaim(e.sup, &e.meter); err != nil {
+		return fmt.Errorf("core: reclaim supervisor: %w", err)
+	}
+	e.supGen++
+	sup, err := e.invokeAt(e.supName(), mem, deadAt, true)
+	if err != nil {
+		return fmt.Errorf("core: recover supervisor: %w", err)
+	}
+	e.sup = sup
+	e.sup.Clock.Advance(e.cl.Redis.TransferTime(24*len(e.history) + 1024))
+	e.recMu.Lock()
+	e.recovery.WorkerDeaths++
+	e.recovery.RestartTime += e.sup.Clock.Now() - deadAt
+	e.recMu.Unlock()
 	return nil
 }
 
 // phaseA is one worker's compute-and-publish half of a BSP step.
 func (e *engine) phaseA(w *workerState, step, pActive int) error {
+	// A container can die while parked at the previous barrier; replace
+	// it before the step so no work is charged to a dead instance. The
+	// replacement rejoins at the barrier the pool last crossed.
+	if dead(w.inst) {
+		if err := e.recoverWorker(w); err != nil {
+			return err
+		}
+		w.inst.Clock.AdvanceTo(e.prevBarrier)
+	}
 	if err := e.maybeRelaunch(w); err != nil {
 		return err
 	}
 	clk := &w.inst.Clock
+	segStart := clk.Now()
 
 	// Reintegrate an evicted peer's replica (§4.2, eviction policy).
 	if w.pendingMerge != "" {
@@ -270,6 +462,17 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 	loss := w.model.Loss(batch)
 	grad := w.model.Gradient(batch)
 	e.chargeCompute(w, 1.5*w.model.GradientWork(len(batch)))
+
+	// The provider may have reclaimed the container mid-segment: the
+	// work charged past the reclaim point died with it and is redone on
+	// a replacement. The tail below (optimizer, filter, publish) is
+	// treated as atomic — once the update is published the step's output
+	// is durable, and a death there surfaces at the next phase boundary
+	// with nothing left to redo.
+	if err := e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("step %d compute", step)); err != nil {
+		return err
+	}
+	clk = &w.inst.Clock
 
 	// Optimizer transform, averaged across the active pool: the global
 	// update is the mean of local updates (§3.2, "local gradients are
@@ -305,7 +508,15 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 // pulls every step in (fromStep, toStep]; under per-step BSP/ISP the
 // window is a single step.
 func (e *engine) phaseB(w *workerState, fromStep, toStep int, active []*workerState) error {
+	// Replace a container that died after publishing; its step output is
+	// durable in the KV store and broker, so nothing is redone.
+	if dead(w.inst) {
+		if err := e.recoverWorker(w); err != nil {
+			return err
+		}
+	}
 	clk := &w.inst.Clock
+	segStart := clk.Now()
 
 	// Drain availability announcements.
 	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
@@ -340,7 +551,9 @@ func (e *engine) phaseB(w *workerState, fromStep, toStep int, active []*workerSt
 	}
 	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
 	e.chargeCompute(w, 4*float64(applied))
-	return nil
+	// A death mid-pull loses the fetched-but-unapplied updates; the
+	// replacement redoes the pull (same data, time recharged).
+	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("sync at step %d", toStep))
 }
 
 // runPhase executes fn for every active worker concurrently (workers are
@@ -380,23 +593,39 @@ func (e *engine) loop() (*Result, error) {
 		// points; pulls and barriers happen every Staleness steps.
 		syncStep := spec.Staleness <= 1 || step%spec.Staleness == 0 || step == spec.MaxSteps
 
+		// Eviction replicas published at the previous sync point are
+		// merged by every survivor during this phase A; afterwards the
+		// keys expire (server-side TTL, no client time).
+		expireEvict := e.evictExpire
+		e.evictExpire = nil
+
 		if err := runPhase(active, func(w *workerState) error {
 			return e.phaseA(w, step, pActive)
 		}); err != nil {
 			return nil, err
 		}
-
-		clocks := make([]*vclock.Clock, len(active))
-		for i, w := range active {
-			clocks[i] = &w.inst.Clock
+		if len(expireEvict) > 0 {
+			var janitor vclock.Clock
+			for _, k := range expireEvict {
+				e.cl.Redis.Delete(&janitor, k)
+			}
 		}
-		var barrier time.Duration
+
 		if syncStep {
 			if err := runPhase(active, func(w *workerState) error {
 				return e.phaseB(w, lastSync, step, active)
 			}); err != nil {
 				return nil, err
 			}
+		}
+		// Build the clock list only now: recoveries may have replaced
+		// instances (and therefore clocks) during either phase.
+		clocks := make([]*vclock.Clock, len(active))
+		for i, w := range active {
+			clocks[i] = &w.inst.Clock
+		}
+		var barrier time.Duration
+		if syncStep {
 			// BSP barrier (§3.1): the slowest worker paces the step.
 			barrier = vclock.Barrier(clocks)
 			for s := lastSync + 1; s <= step; s++ {
@@ -407,13 +636,45 @@ func (e *engine) loop() (*Result, error) {
 			barrier = vclock.Max(clocks)
 		}
 		stepDur := barrier - e.prevBarrier
+		if stepDur < 0 {
+			// Under SSP a recovered worker can rejoin behind the previous
+			// maximum; the horizon estimate must stay non-negative.
+			stepDur = 0
+		}
 		e.prevBarrier = barrier
 		e.lastStepDur = stepDur
 
+		// Enforce the platform execution cap (§2). Relaunching normally
+		// keeps instances clear of it; a single step too long to fit the
+		// remaining budget cannot be split, so it surfaces as
+		// faas.ErrOverLimit instead of silently overrunning.
+		cfg := e.cl.Platform.Config()
+		for _, w := range active {
+			if dead(w.inst) {
+				continue // replaced with a fresh instance at the next phase
+			}
+			if err := w.inst.CheckLimit(cfg); err != nil {
+				return nil, fmt.Errorf("core: step %d: %w", step, err)
+			}
+		}
+
 		// Supervisor: aggregate the loss reports.
 		e.sup.Clock.AdvanceTo(barrier)
+		for deaths := 0; dead(e.sup); {
+			if deaths++; deaths > maxConsecutiveDeaths {
+				return nil, fmt.Errorf("core: supervisor: %d consecutive reclamations: %w",
+					deaths-1, faults.ErrInjected)
+			}
+			if err := e.recoverSup(); err != nil {
+				return nil, err
+			}
+			e.sup.Clock.AdvanceTo(barrier)
+		}
 		if err := e.maybeRelaunchSup(); err != nil {
 			return nil, err
+		}
+		if err := e.sup.CheckLimit(cfg); err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", step, err)
 		}
 		raw, updateBytes, err := e.aggregateReports(pActive)
 		if err != nil {
@@ -468,7 +729,7 @@ func (e *engine) loop() (*Result, error) {
 		}
 	}
 
-	return e.teardown(converged, diverged)
+	return e.teardown(converged, diverged, lastSync)
 }
 
 // aggregateReports drains the loss queue and averages worker losses in
@@ -513,9 +774,18 @@ func (e *engine) evictOne(step int, now time.Duration, active []*workerState) er
 				w.pendingMerge = e.evictKey(victim.id)
 			}
 		}
+		// The replica key expires once every survivor has merged it (at
+		// the end of the next phase A).
+		e.evictExpire = append(e.evictExpire, e.evictKey(victim.id))
 	}
-	e.billInstance(victim.inst)
-	if err := e.cl.Platform.Terminate(victim.inst); err != nil {
+	// A victim whose container died between the barrier and the eviction
+	// order still parks its replica (the engine holds the state; only
+	// billing differs, capped at the reclaim point).
+	if dead(victim.inst) {
+		if err := e.cl.Platform.Reclaim(victim.inst, &e.meter); err != nil {
+			return fmt.Errorf("core: evict worker %d: %w", victim.id, err)
+		}
+	} else if err := e.cl.Platform.TerminateInto(victim.inst, &e.meter); err != nil {
 		return fmt.Errorf("core: evict worker %d: %w", victim.id, err)
 	}
 	e.cl.Broker.Unbind(e.annExchange(), e.annQueue(victim.id))
@@ -536,32 +806,62 @@ func (e *engine) expireStep(step int, active []*workerState) {
 	}
 }
 
-// billInstance adds a function's elapsed execution to the job bill.
-func (e *engine) billInstance(inst *faas.Instance) {
-	e.meter.AddFunction(inst.Name, inst.Elapsed(), float64(inst.MemoryMiB)/1024)
+// endInstance terminates (or, if its container already died, reclaims)
+// an instance, billing it into the job meter. All engine billing flows
+// through TerminateInto/Reclaim, so the runs are marked claimed and a
+// caller combining Run with Platform.BillTo cannot double-count them.
+func (e *engine) endInstance(inst *faas.Instance) error {
+	if dead(inst) {
+		return e.cl.Platform.Reclaim(inst, &e.meter)
+	}
+	return e.cl.Platform.TerminateInto(inst, &e.meter)
 }
 
-func (e *engine) teardown(converged, diverged bool) (*Result, error) {
+func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, error) {
 	execTime := e.prevBarrier
 
 	for _, w := range e.workers {
 		if !w.alive {
 			continue
 		}
-		e.billInstance(w.inst)
-		if err := e.cl.Platform.Terminate(w.inst); err != nil {
+		if err := e.endInstance(w.inst); err != nil {
 			return nil, err
 		}
 	}
-	e.billInstance(e.sup)
-	if err := e.cl.Platform.Terminate(e.sup); err != nil {
+	if err := e.endInstance(e.sup); err != nil {
 		return nil, err
+	}
+
+	// Expire every key the job may still hold: update keys published
+	// since the last sync point (the loop can stop mid-window under SSP)
+	// and eviction replicas not yet expired. Checkpoints are deleted
+	// when consumed, so a completed run leaves the store empty.
+	lastStep := 0
+	if len(e.history) > 0 {
+		lastStep = e.history[len(e.history)-1].Step
+	}
+	var janitor vclock.Clock
+	for s := lastSync + 1; s <= lastStep; s++ {
+		for _, w := range e.workers {
+			e.cl.Redis.Delete(&janitor, e.updKey(s, w.id))
+		}
+	}
+	for _, k := range e.evictExpire {
+		e.cl.Redis.Delete(&janitor, k)
 	}
 
 	// The two always-on VMs of the MLLess deployment (§6.1): messaging
 	// (C1.4x4) and Redis (M1.2x16), prorated per second over the job.
 	e.meter.AddVM("messaging-vm-c1.4x4", cost.PriceC14x4PerHour, execTime)
 	e.meter.AddVM("redis-vm-m1.2x16", cost.PriceM12x16PerHour, execTime)
+
+	// Surface the fault-recovery overhead on the bill. The line is a
+	// memo: its function-seconds are already billed inside the worker
+	// lines, so it is excluded from the total.
+	if over := e.recovery.Overhead(); over > 0 {
+		e.meter.AddMemo("recovery-overhead", over,
+			cost.FunctionCost(over, float64(e.job.Spec.MemoryMiB)/1024))
+	}
 
 	finalLoss := 0.0
 	if len(e.history) > 0 {
@@ -578,5 +878,7 @@ func (e *engine) teardown(converged, diverged bool) (*Result, error) {
 		Cost:             e.meter.Report(),
 		TotalUpdateBytes: e.totalUpdateBytes,
 		Relaunches:       e.relaunches,
+		Recovery:         e.recovery,
+		Faults:           e.faults.Metrics(),
 	}, nil
 }

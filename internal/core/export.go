@@ -19,9 +19,17 @@ type exportedResult struct {
 	TotalCost  float64           `json:"total_cost_usd"`
 	Bytes      int64             `json:"update_bytes_total"`
 	Relaunches int               `json:"relaunches"`
+	Recovery   *exportedRecovery `json:"recovery,omitempty"`
 	History    []exportedPoint   `json:"history"`
 	Removals   []exportedRemoval `json:"removals,omitempty"`
 	Bill       []exportedCharge  `json:"bill"`
+}
+
+type exportedRecovery struct {
+	InvokeRetries int     `json:"invoke_retries"`
+	WorkerDeaths  int     `json:"worker_deaths"`
+	RestartTime   float64 `json:"restart_time_s"`
+	RecomputeTime float64 `json:"recompute_time_s"`
 }
 
 type exportedPoint struct {
@@ -62,6 +70,14 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		TotalCost:  r.Cost.Total,
 		Bytes:      r.TotalUpdateBytes,
 		Relaunches: r.Relaunches,
+	}
+	if r.Recovery != (Recovery{}) {
+		out.Recovery = &exportedRecovery{
+			InvokeRetries: r.Recovery.InvokeRetries,
+			WorkerDeaths:  r.Recovery.WorkerDeaths,
+			RestartTime:   secs(r.Recovery.RestartTime),
+			RecomputeTime: secs(r.Recovery.RecomputeTime),
+		}
 	}
 	out.History = make([]exportedPoint, len(r.History))
 	for i, p := range r.History {

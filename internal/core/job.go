@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlless/internal/consistency"
+	"mlless/internal/faults"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
 	"mlless/internal/sched"
@@ -67,6 +68,11 @@ type Spec struct {
 	// for this many consecutive steps (0 disables) — a convergence
 	// criterion for jobs without a known target loss.
 	Patience int
+	// Faults configures deterministic fault injection for the run (see
+	// internal/faults): transient invocation failures, cold-start
+	// stragglers, mid-run container reclamation and KV/broker fault
+	// delays, all seeded. The zero value disables every fault.
+	Faults faults.Spec
 }
 
 func (s Spec) withDefaults() Spec {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mlless/internal/cost"
+	"mlless/internal/faults"
 )
 
 // LossPoint is one step of the global training trace.
@@ -37,6 +38,28 @@ type Removal struct {
 	WorkersLeft int
 }
 
+// Recovery aggregates the fault-recovery work a run performed: what it
+// cost, in virtual time, to survive injected failures (see
+// internal/faults). The zero value means an undisturbed run.
+type Recovery struct {
+	// InvokeRetries counts invocation attempts that failed transiently
+	// and were retried with backoff.
+	InvokeRetries int
+	// WorkerDeaths counts mid-run container reclamations recovered
+	// through the checkpoint path (supervisor deaths included).
+	WorkerDeaths int
+	// RestartTime is the virtual time spent on retry backoff, booting
+	// replacement containers and re-downloading replica state.
+	RestartTime time.Duration
+	// RecomputeTime is the virtual time spent redoing step work that
+	// died with a reclaimed container.
+	RecomputeTime time.Duration
+}
+
+// Overhead is the total virtual time the job spent recovering from
+// faults rather than training.
+func (rc Recovery) Overhead() time.Duration { return rc.RestartTime + rc.RecomputeTime }
+
 // Result is the outcome of a training job.
 type Result struct {
 	// Converged reports whether TargetLoss was reached.
@@ -61,6 +84,11 @@ type Result struct {
 	TotalUpdateBytes int64
 	// Relaunches counts workers re-launched at the 10-minute FaaS limit.
 	Relaunches int
+	// Recovery aggregates the fault-recovery work the run performed.
+	Recovery Recovery
+	// Faults counts the faults injected into the run (zero when the
+	// job's fault spec is disabled).
+	Faults faults.Metrics
 }
 
 // TimeToLoss returns the first virtual time at which the smoothed loss

@@ -63,7 +63,9 @@ func PerfPerDollar(execTime time.Duration, dollars float64) float64 {
 type Component struct {
 	// Name identifies the element, e.g. "worker-3" or "redis-vm".
 	Name string
-	// Kind is "function" or "vm".
+	// Kind is "function", "vm" or "memo". Memo components are
+	// informational lines whose dollars are already contained in other
+	// components; they are excluded from totals.
 	Kind string
 	// Duration is the billed time.
 	Duration time.Duration
@@ -88,6 +90,14 @@ func (m *Meter) AddVM(name string, hourlyPrice float64, d time.Duration) {
 	m.add(Component{Name: name, Kind: "vm", Duration: d, Dollars: VMCost(hourlyPrice, d)})
 }
 
+// AddMemo records an informational line — e.g. the engine's fault
+// recovery overhead — whose dollars are already part of other
+// components. Memo lines appear in the report but never in the total,
+// so they cannot double-count.
+func (m *Meter) AddMemo(name string, d time.Duration, dollars float64) {
+	m.add(Component{Name: name, Kind: "memo", Duration: d, Dollars: dollars})
+}
+
 func (m *Meter) add(c Component) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -100,6 +110,9 @@ func (m *Meter) Total() float64 {
 	defer m.mu.Unlock()
 	total := 0.0
 	for _, c := range m.components {
+		if c.Kind == "memo" {
+			continue
+		}
 		total += c.Dollars
 	}
 	return total
@@ -114,6 +127,9 @@ func (m *Meter) Report() Report {
 	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
 	total := 0.0
 	for _, c := range comps {
+		if c.Kind == "memo" {
+			continue
+		}
 		total += c.Dollars
 	}
 	return Report{Components: comps, Total: total}

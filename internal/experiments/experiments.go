@@ -123,6 +123,7 @@ func Registry() []struct {
 		{"abl-allreduce", AblAllReduce},
 		{"abl-startup", AblStartup},
 		{"abl-ssp", AblSSP},
+		{"abl-faults", AblFaults},
 	}
 }
 

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mlless/internal/core"
+	"mlless/internal/faults"
+)
+
+// AblFaults measures what surviving an unreliable substrate costs: the
+// same PMF job runs under increasing fault intensity — transient
+// invocation failures, cold-start stragglers, mid-run container
+// reclamation and KV/broker fault delays all scaled together — and the
+// overhead surfaces as recovery time and dollars. Injection is seeded,
+// so every row is exactly reproducible.
+func AblFaults(opts Options) (Table, error) {
+	wl, workers := ablWorkload(opts)
+	t := Table{
+		ID:     "abl-faults",
+		Title:  "Fault injection: cost/time overhead vs failure rate",
+		Header: []string{"fail-rate", "exec-time", "cost-$", "deaths", "retries", "recovery-s", "converged"},
+		Notes: []string{
+			"fail-rate scales invocation failures, stragglers, container reclamation and KV/broker faults together",
+			"recovery-s is restart + recompute time; its dollars are inside the worker lines (memo component)",
+		},
+	}
+	// The top rate is harsh enough that container reclamations land even
+	// in short quick-mode runs, so the recovery path shows up in the
+	// deaths/recovery-s columns rather than only as slower operations.
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10, 0.25} {
+		cl, job := wl.Make(workers)
+		job.Spec.MaxSteps = 1200
+		if opts.Quick {
+			job.Spec.MaxSteps = 400
+		}
+		job.Spec.Faults = faults.Spec{
+			Seed:           7,
+			InvokeFailProb: rate,
+			StragglerProb:  rate,
+			ReclaimProb:    rate,
+			// Short mean lifetime so reclamations land inside the run's
+			// virtual duration (quick runs finish in ~20 virtual seconds)
+			// rather than after it.
+			ReclaimMeanLife: 8 * time.Second,
+			KVFailProb:      rate / 10,
+			KVSlowProb:      rate / 10,
+			MQFailProb:      rate / 10,
+			MQSlowProb:      rate / 10,
+		}
+		res, err := core.Run(cl, job)
+		if err != nil {
+			return Table{}, fmt.Errorf("abl-faults (rate=%.2f): %w", rate, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", rate),
+			res.ExecTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", res.Cost.Total),
+			fmt.Sprintf("%d", res.Recovery.WorkerDeaths),
+			fmt.Sprintf("%d", res.Recovery.InvokeRetries),
+			fmt.Sprintf("%.2f", res.Recovery.Overhead().Seconds()),
+			fmt.Sprintf("%v", res.Converged),
+		})
+	}
+	return t, nil
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mlless/internal/cost"
+	"mlless/internal/faults"
 	"mlless/internal/vclock"
 )
 
@@ -38,9 +39,10 @@ const (
 )
 
 // ErrOverLimit reports that a function exceeded the maximum execution
-// duration. The supervisor could checkpoint and re-launch (§3.1); the
-// experiments in the paper never needed it, so the engine surfaces the
-// error instead.
+// duration. The engine checkpoints and re-launches workers that come
+// near the limit (§3.1); a single step too long to fit the remaining
+// budget cannot be split, so the engine surfaces this error instead of
+// silently overrunning.
 var ErrOverLimit = errors.New("faas: function exceeded maximum execution duration")
 
 // ErrTooMuchMemory reports an invocation requesting more memory than the
@@ -85,11 +87,17 @@ type Metrics struct {
 	ColdStarts  int64
 	WarmStarts  int64
 	Terminated  int64
+	// FailedInvocations counts invocation attempts rejected by injected
+	// transient faults (see package faults).
+	FailedInvocations int64
+	// Reclaimed counts containers the provider withdrew mid-run.
+	Reclaimed int64
 }
 
 // Platform is a simulated FaaS provider. It is safe for concurrent use.
 type Platform struct {
-	cfg Config
+	cfg    Config
+	faults *faults.Injector
 
 	mu       sync.Mutex
 	nextID   int
@@ -103,11 +111,24 @@ type billedRun struct {
 	name     string
 	duration time.Duration
 	memGiB   float64
+	// claimed marks runs already metered by the caller (TerminateInto /
+	// Reclaim); BillTo skips them so the two billing paths never
+	// double-count GB-seconds.
+	claimed bool
 }
 
 // NewPlatform returns a platform with the given configuration.
 func NewPlatform(cfg Config) *Platform {
 	return &Platform{cfg: cfg, running: make(map[int]*Instance)}
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector. Callers
+// must not change the injector while invocations are in flight; the
+// engine installs it during job setup and removes it at teardown.
+func (p *Platform) SetFaults(in *faults.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = in
 }
 
 // Instance is one running function invocation. Its Clock is owned by the
@@ -123,6 +144,11 @@ type Instance struct {
 	// Clock is the instance's virtual clock. It starts at the invocation
 	// time plus the start latency.
 	Clock vclock.Clock
+	// ReclaimAt is the absolute virtual time at which the provider
+	// reclaims this container (fault injection); 0 means never. Work
+	// charged to the Clock past ReclaimAt is void: the engine detects the
+	// death at its next checkpointable boundary and re-launches.
+	ReclaimAt time.Duration
 
 	startAt    time.Duration
 	terminated bool
@@ -131,7 +157,24 @@ type Instance struct {
 // Invoke launches a function of memoryMiB at virtual time at. The first
 // invocation (and any invocation beyond the warm pool) pays the
 // cold-start latency; containers freed by Terminate keep a warm slot.
+// With a fault injector installed, the attempt may fail transiently
+// (wrapping faults.ErrInjected — retry with backoff), a cold start may
+// draw a heavy-tailed straggler multiplier, and the container may be
+// scheduled for mid-run reclamation (Instance.ReclaimAt).
 func (p *Platform) Invoke(name string, memoryMiB int, at time.Duration) (*Instance, error) {
+	return p.invoke(name, memoryMiB, at, false)
+}
+
+// InvokeCold is Invoke bypassing the warm pool: the container always
+// boots cold. The engine uses it when recovering from a reclamation —
+// the platform just withdrew capacity, so no warm container is assumed.
+// Bypassing the pool also keeps recovery deterministic: concurrent
+// recoveries never race for a bounded number of warm slots.
+func (p *Platform) InvokeCold(name string, memoryMiB int, at time.Duration) (*Instance, error) {
+	return p.invoke(name, memoryMiB, at, true)
+}
+
+func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCold bool) (*Instance, error) {
 	if memoryMiB <= 0 || memoryMiB > MaxMemoryMiB {
 		return nil, fmt.Errorf("invoke %s with %d MiB: %w", name, memoryMiB, ErrTooMuchMemory)
 	}
@@ -139,16 +182,22 @@ func (p *Platform) Invoke(name string, memoryMiB int, at time.Duration) (*Instan
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	if p.faults.InvokeFails(name, at) {
+		p.metrics.FailedInvocations++
+		return nil, fmt.Errorf("invoke %s at %v: %w", name, at, faults.ErrInjected)
+	}
 	if p.cfg.MaxConcurrent > 0 && len(p.running) >= p.cfg.MaxConcurrent {
 		return nil, fmt.Errorf("invoke %s (%d running): %w", name, len(p.running), ErrTooManyConcurrent)
 	}
 
 	start := p.cfg.ColdStart
-	if p.warmPool > 0 {
+	if !forceCold && p.warmPool > 0 {
 		p.warmPool--
 		start = p.cfg.WarmStart
 		p.metrics.WarmStarts++
 	} else {
+		// Cold path: stragglers stretch the boot latency.
+		start = time.Duration(float64(start) * p.faults.ColdStartFactor(name, at))
 		p.metrics.ColdStarts++
 	}
 	p.metrics.Invocations++
@@ -159,15 +208,38 @@ func (p *Platform) Invoke(name string, memoryMiB int, at time.Duration) (*Instan
 		MemoryMiB: memoryMiB,
 		startAt:   at,
 	}
+	if life := p.faults.ReclaimAfter(name, at); life > 0 {
+		inst.ReclaimAt = at + start + life
+	}
 	p.nextID++
 	inst.Clock.AdvanceTo(at + start)
 	p.running[inst.ID] = inst
 	return inst, nil
 }
 
-// Terminate ends an invocation, bills its elapsed time, and returns the
-// container to the warm pool. Terminating twice is an error.
+// Terminate ends an invocation, records its elapsed time for BillTo, and
+// returns the container to the warm pool. Terminating twice is an error.
 func (p *Platform) Terminate(inst *Instance) error {
+	return p.end(inst, nil, true)
+}
+
+// TerminateInto is Terminate billing the run directly into m. The run is
+// marked claimed, so a later BillTo will not meter it again: a caller
+// combining core.Run (which bills through the meter) with BillTo cannot
+// double-count GB-seconds.
+func (p *Platform) TerminateInto(inst *Instance, m *cost.Meter) error {
+	return p.end(inst, m, true)
+}
+
+// Reclaim ends an invocation whose container the provider withdrew: the
+// container does not rejoin the warm pool, and the run is billed (into
+// m, claimed) only up to the reclaim point — work charged to the clock
+// past Instance.ReclaimAt was void and is not paid for.
+func (p *Platform) Reclaim(inst *Instance, m *cost.Meter) error {
+	return p.end(inst, m, false)
+}
+
+func (p *Platform) end(inst *Instance, m *cost.Meter, warm bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -176,13 +248,29 @@ func (p *Platform) Terminate(inst *Instance) error {
 	}
 	inst.terminated = true
 	delete(p.running, inst.ID)
-	p.warmPool++
+	if warm {
+		p.warmPool++
+	} else {
+		p.metrics.Reclaimed++
+	}
 	p.metrics.Terminated++
+
+	d := inst.Elapsed()
+	if !warm && inst.ReclaimAt > 0 {
+		if lived := inst.ReclaimAt - inst.startAt; lived >= 0 && lived < d {
+			d = lived
+		}
+	}
+	memGiB := float64(inst.MemoryMiB) / 1024
 	p.billed = append(p.billed, billedRun{
 		name:     inst.Name,
-		duration: inst.Elapsed(),
-		memGiB:   float64(inst.MemoryMiB) / 1024,
+		duration: d,
+		memGiB:   memGiB,
+		claimed:  m != nil,
 	})
+	if m != nil {
+		m.AddFunction(inst.Name, d, memGiB)
+	}
 	return nil
 }
 
@@ -203,12 +291,16 @@ func (p *Platform) Metrics() Metrics {
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
 
-// BillTo adds every terminated invocation to the meter. Live instances
-// are not billed; terminate them first.
+// BillTo adds every terminated invocation to the meter, skipping runs
+// already metered through TerminateInto or Reclaim. Live instances are
+// not billed; terminate them first.
 func (p *Platform) BillTo(m *cost.Meter) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, run := range p.billed {
+		if run.claimed {
+			continue
+		}
 		m.AddFunction(run.name, run.duration, run.memGiB)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mlless/internal/cost"
+	"mlless/internal/faults"
 )
 
 func TestInvokeColdThenWarm(t *testing.T) {
@@ -215,5 +216,83 @@ func TestConcurrencyUnlimitedWhenZero(t *testing.T) {
 		if _, err := p.Invoke("w", 256, 0); err != nil {
 			t.Fatalf("invocation %d: %v", i, err)
 		}
+	}
+}
+
+// --- fault injection ---
+
+func TestInjectedInvocationFailure(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	p.SetFaults(faults.New(faults.Spec{Seed: 1, InvokeFailProb: 1}))
+	if _, err := p.Invoke("w", 2048, 0); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if m := p.Metrics(); m.FailedInvocations != 1 || m.Invocations != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestStragglerStretchesColdStart(t *testing.T) {
+	in := faults.New(faults.Spec{Seed: 3, StragglerProb: 1})
+	p := NewPlatform(DefaultConfig())
+	p.SetFaults(in)
+	inst, err := p.Invoke("w", 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := DefaultConfig().ColdStart
+	if got := inst.Clock.Now(); got < cold {
+		t.Fatalf("straggler cold start %v below the nominal %v", got, cold)
+	}
+	if cap := time.Duration(float64(cold) * faults.DefaultStragglerCap); inst.Clock.Now() > cap {
+		t.Fatalf("straggler %v beyond the cap %v", inst.Clock.Now(), cap)
+	}
+	if m := in.Metrics(); m.Stragglers != 1 {
+		t.Fatalf("Stragglers = %d, want 1", m.Stragglers)
+	}
+}
+
+func TestReclaimBillsOnlyToReclaimPoint(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	p.SetFaults(faults.New(faults.Spec{Seed: 4, ReclaimProb: 1, ReclaimMeanLife: 30 * time.Second}))
+	inst, err := p.Invoke("w", 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ReclaimAt == 0 {
+		t.Fatal("no reclamation scheduled at probability 1")
+	}
+	// The engine keeps charging past the death before noticing it; that
+	// work is void and must not be paid for.
+	inst.Clock.AdvanceTo(inst.ReclaimAt + time.Minute)
+	var m cost.Meter
+	if err := p.Reclaim(inst, &m); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if len(rep.Components) != 1 {
+		t.Fatalf("components = %+v", rep.Components)
+	}
+	lived := inst.ReclaimAt - inst.StartedAt()
+	if rep.Components[0].Duration != lived {
+		t.Fatalf("billed %v, want %v", rep.Components[0].Duration, lived)
+	}
+	if p.Metrics().Reclaimed != 1 {
+		t.Fatalf("metrics = %+v", p.Metrics())
+	}
+	// Claimed by Reclaim: BillTo must not meter the run again.
+	var again cost.Meter
+	p.BillTo(&again)
+	if r := again.Report(); r.Total != 0 || len(r.Components) != 0 {
+		t.Fatalf("BillTo re-billed a claimed run: %+v", r)
+	}
+	// A reclaimed container never rejoins the warm pool.
+	p.SetFaults(nil)
+	next, err := p.Invoke("w2", 2048, inst.ReclaimAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Clock.Now() - inst.ReclaimAt; got != DefaultConfig().ColdStart {
+		t.Fatalf("post-reclaim start latency %v, want the cold %v", got, DefaultConfig().ColdStart)
 	}
 }

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.InvokeFails("w", time.Second) {
+		t.Fatal("nil injector failed an invocation")
+	}
+	if f := in.ColdStartFactor("w", 0); f != 1 {
+		t.Fatalf("nil injector stretched a cold start: %v", f)
+	}
+	if d := in.ReclaimAfter("w", 0); d != 0 {
+		t.Fatalf("nil injector scheduled a reclaim: %v", d)
+	}
+	if d := in.KVDelay("set", "k", 0, time.Millisecond); d != 0 {
+		t.Fatalf("nil injector delayed a KV op: %v", d)
+	}
+	if d := in.MQDelay("publish", "q", 0, time.Millisecond); d != 0 {
+		t.Fatalf("nil injector delayed a broker op: %v", d)
+	}
+	if m := in.Metrics(); m != (Metrics{}) {
+		t.Fatalf("nil injector has metrics: %+v", m)
+	}
+}
+
+func TestZeroSpecDisabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if !(Spec{ReclaimProb: 0.1}).Enabled() {
+		t.Fatal("reclaim-only spec reports disabled")
+	}
+	in := New(Spec{Seed: 3})
+	if in.InvokeFails("w", time.Second) || in.ColdStartFactor("w", 0) != 1 || in.ReclaimAfter("w", 0) != 0 {
+		t.Fatal("zero-probability spec injected a fault")
+	}
+}
+
+// TestDeterministicDraws is the core property: decisions are a pure
+// function of (seed, identity), independent of call order.
+func TestDeterministicDraws(t *testing.T) {
+	spec := Spec{
+		Seed: 42, InvokeFailProb: 0.3, StragglerProb: 0.3, ReclaimProb: 0.3,
+		KVFailProb: 0.2, KVSlowProb: 0.2, MQFailProb: 0.2, MQSlowProb: 0.2,
+	}
+	a, b := New(spec), New(spec)
+
+	// Interrogate b in reverse order; answers must match a's.
+	type probe struct {
+		name string
+		at   time.Duration
+	}
+	probes := []probe{{"w0", 0}, {"w1", 0}, {"w0", time.Second}, {"sup", 5 * time.Second}}
+	fails := make([]bool, len(probes))
+	factors := make([]float64, len(probes))
+	lives := make([]time.Duration, len(probes))
+	kv := make([]time.Duration, len(probes))
+	for i, p := range probes {
+		fails[i] = a.InvokeFails(p.name, p.at)
+		factors[i] = a.ColdStartFactor(p.name, p.at)
+		lives[i] = a.ReclaimAfter(p.name, p.at)
+		kv[i] = a.KVDelay("get", p.name, p.at, time.Millisecond)
+	}
+	for i := len(probes) - 1; i >= 0; i-- {
+		p := probes[i]
+		if got := b.InvokeFails(p.name, p.at); got != fails[i] {
+			t.Fatalf("InvokeFails(%v) order-dependent", p)
+		}
+		if got := b.ColdStartFactor(p.name, p.at); got != factors[i] {
+			t.Fatalf("ColdStartFactor(%v) order-dependent", p)
+		}
+		if got := b.ReclaimAfter(p.name, p.at); got != lives[i] {
+			t.Fatalf("ReclaimAfter(%v) order-dependent", p)
+		}
+		if got := b.KVDelay("get", p.name, p.at, time.Millisecond); got != kv[i] {
+			t.Fatalf("KVDelay(%v) order-dependent", p)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed uint64) int {
+		in := New(Spec{Seed: seed, InvokeFailProb: 0.5})
+		n := 0
+		for i := 0; i < 200; i++ {
+			if in.InvokeFails("w", time.Duration(i)*time.Millisecond) {
+				n++
+			}
+		}
+		return n
+	}
+	// Different seeds should produce different (but similarly sized)
+	// failure sets; identical seeds identical counts.
+	if mk(1) != mk(1) {
+		t.Fatal("same seed, different counts")
+	}
+	a, b := mk(1), mk(2)
+	if a == 0 || b == 0 || a == 200 || b == 200 {
+		t.Fatalf("degenerate failure counts: %d, %d", a, b)
+	}
+}
+
+func TestFailureRateApproximatesProbability(t *testing.T) {
+	in := New(Spec{Seed: 9, InvokeFailProb: 0.25})
+	n := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if in.InvokeFails("w", time.Duration(i)*time.Millisecond) {
+			n++
+		}
+	}
+	rate := float64(n) / trials
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("empirical failure rate %.3f far from 0.25", rate)
+	}
+	if m := in.Metrics(); m.InvokeFailures != int64(n) {
+		t.Fatalf("metrics count %d, observed %d", m.InvokeFailures, n)
+	}
+}
+
+func TestStragglerFactorHeavyTailedAndBounded(t *testing.T) {
+	in := New(Spec{Seed: 4, StragglerProb: 1})
+	var sum float64
+	maxFactor := 0.0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		f := in.ColdStartFactor("w", time.Duration(i)*time.Millisecond)
+		if f < 1 || f > DefaultStragglerCap {
+			t.Fatalf("factor %v out of [1, %v]", f, DefaultStragglerCap)
+		}
+		if f > maxFactor {
+			maxFactor = f
+		}
+		sum += f
+	}
+	mean := sum / trials
+	// Pareto(alpha=1.5) has mean 3; the cap pulls it down slightly.
+	if mean < 2 || mean > 4 {
+		t.Fatalf("mean straggler factor %.2f implausible for Pareto(1.5)", mean)
+	}
+	if maxFactor < 10 {
+		t.Fatalf("max factor %.2f shows no heavy tail", maxFactor)
+	}
+}
+
+func TestReclaimLifetimes(t *testing.T) {
+	in := New(Spec{Seed: 5, ReclaimProb: 1, ReclaimMeanLife: time.Minute})
+	var sum time.Duration
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		life := in.ReclaimAfter("w", time.Duration(i)*time.Millisecond)
+		if life < minReclaimLife {
+			t.Fatalf("lifetime %v below floor", life)
+		}
+		sum += life
+	}
+	mean := sum / trials
+	if mean < 45*time.Second || mean > 80*time.Second {
+		t.Fatalf("mean lifetime %v far from the 1-minute mean", mean)
+	}
+	if m := in.Metrics(); m.ReclaimsScheduled != trials {
+		t.Fatalf("ReclaimsScheduled = %d, want %d", m.ReclaimsScheduled, trials)
+	}
+}
+
+func TestOpDelayChargesRetriesAndSpikes(t *testing.T) {
+	// Certain failure: every op pays at least one penalty + re-execution.
+	in := New(Spec{Seed: 6, KVFailProb: 1, KVRetryPenalty: 10 * time.Millisecond})
+	base := 2 * time.Millisecond
+	d := in.KVDelay("set", "k", 0, base)
+	if d < 12*time.Millisecond {
+		t.Fatalf("certain failure delayed only %v", d)
+	}
+	if d > maxOpRetries*(10*time.Millisecond+base) {
+		t.Fatalf("delay %v exceeds the retry cap", d)
+	}
+
+	// Certain spike: exactly (factor-1) * base extra.
+	in2 := New(Spec{Seed: 6, KVSlowProb: 1, KVSlowFactor: 5})
+	if d := in2.KVDelay("get", "k", 0, base); d != 4*base {
+		t.Fatalf("spike delay = %v, want %v", d, 4*base)
+	}
+
+	m := in.Metrics()
+	if m.KVFailures == 0 {
+		t.Fatal("KV failures not counted")
+	}
+	if m2 := in2.Metrics(); m2.KVSlowOps != 1 {
+		t.Fatalf("KVSlowOps = %d, want 1", m2.KVSlowOps)
+	}
+}
+
+func TestDomainIndependence(t *testing.T) {
+	// The same key and time must not produce correlated decisions across
+	// domains (e.g. every failed invocation also being a straggler).
+	in := New(Spec{Seed: 11, InvokeFailProb: 0.5, StragglerProb: 0.5})
+	both, either := 0, 0
+	for i := 0; i < 2000; i++ {
+		at := time.Duration(i) * time.Millisecond
+		f := in.InvokeFails("w", at)
+		s := in.ColdStartFactor("w", at) > 1
+		if f || s {
+			either++
+		}
+		if f && s {
+			both++
+		}
+	}
+	// Independent 0.5/0.5 draws: both ≈ 25% of trials, either ≈ 75%.
+	if both < 350 || both > 650 {
+		t.Fatalf("joint count %d suggests correlated domains", both)
+	}
+	if either < 1300 || either > 1700 {
+		t.Fatalf("either count %d implausible", either)
+	}
+}

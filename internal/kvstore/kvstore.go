@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"mlless/internal/faults"
 	"mlless/internal/netmodel"
 	"mlless/internal/vclock"
 )
@@ -36,6 +37,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	data    map[string][]byte
+	faults  *faults.Injector
 	metrics Metrics
 }
 
@@ -44,9 +46,33 @@ func New(link netmodel.Link) *Store {
 	return &Store{link: link, data: make(map[string][]byte)}
 }
 
+// SetFaults installs (or, with nil, removes) a fault injector that adds
+// per-operation failures (client-retried, costing time) and latency
+// spikes. Do not call concurrently with operations; the engine installs
+// it during job setup and removes it at teardown.
+func (s *Store) SetFaults(in *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = in
+}
+
+// chargeFaults advances clk by any injected penalty for an operation
+// that nominally cost base. It is called after the nominal charge, so
+// clk.Now() uniquely identifies the operation instant. The lock-free
+// read of s.faults is safe because SetFaults happens-before the worker
+// goroutines that perform operations (see SetFaults).
+func (s *Store) chargeFaults(clk *vclock.Clock, op, key string, base time.Duration) {
+	if s.faults == nil {
+		return
+	}
+	clk.Advance(s.faults.KVDelay(op, key, clk.Now(), base))
+}
+
 // Set stores a copy of val under key and charges the transfer to clk.
 func (s *Store) Set(clk *vclock.Clock, key string, val []byte) {
-	clk.Advance(s.link.TransferTime(len(val)))
+	base := s.link.TransferTime(len(val))
+	clk.Advance(base)
+	s.chargeFaults(clk, "set", key, base)
 	cp := make([]byte, len(val))
 	copy(cp, val)
 
@@ -77,9 +103,12 @@ func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
 
 	if !ok {
 		clk.Advance(s.link.RTT())
+		s.chargeFaults(clk, "get", key, s.link.RTT())
 		return nil, false
 	}
-	clk.Advance(s.link.TransferTime(len(cp)))
+	base := s.link.TransferTime(len(cp))
+	clk.Advance(base)
+	s.chargeFaults(clk, "get", key, base)
 	return cp, true
 }
 
@@ -106,8 +135,19 @@ func (s *Store) MGet(clk *vclock.Clock, keys []string) [][]byte {
 	}
 	s.mu.Unlock()
 
-	clk.Advance(s.link.TransferTime(total))
+	base := s.link.TransferTime(total)
+	clk.Advance(base)
+	s.chargeFaults(clk, "mget", firstKey(keys), base)
 	return out
+}
+
+// firstKey labels a batched operation for fault injection; the batch's
+// virtual instant disambiguates batches sharing a first key.
+func firstKey(keys []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
 }
 
 // MGetView is MGet without the defensive copies: the returned slices
@@ -134,13 +174,16 @@ func (s *Store) MGetView(clk *vclock.Clock, keys []string) [][]byte {
 	}
 	s.mu.Unlock()
 
-	clk.Advance(s.link.TransferTime(total))
+	base := s.link.TransferTime(total)
+	clk.Advance(base)
+	s.chargeFaults(clk, "mget", firstKey(keys), base)
 	return out
 }
 
 // Delete removes key, charging one round trip.
 func (s *Store) Delete(clk *vclock.Clock, key string) {
 	clk.Advance(s.link.RTT())
+	s.chargeFaults(clk, "del", key, s.link.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,6 +195,7 @@ func (s *Store) Delete(clk *vclock.Clock, key string) {
 // round trip (key lists are tiny compared to values).
 func (s *Store) Keys(clk *vclock.Clock, prefix string) []string {
 	clk.Advance(s.link.RTT())
+	s.chargeFaults(clk, "keys", prefix, s.link.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

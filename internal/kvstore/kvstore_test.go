@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mlless/internal/faults"
 	"mlless/internal/netmodel"
 	"mlless/internal/vclock"
 )
@@ -213,5 +214,59 @@ func TestMGetViewChargesLikeMGet(t *testing.T) {
 	s.MGetView(&b, []string{"k"})
 	if a.Now() != b.Now() {
 		t.Fatalf("charging differs: MGet %v, MGetView %v", a.Now(), b.Now())
+	}
+}
+
+// --- fault injection ---
+
+func TestFaultSlowOpMultipliesCharge(t *testing.T) {
+	link := netmodel.RedisLink()
+	clean := New(link)
+	faulty := New(link)
+	faulty.SetFaults(faults.New(faults.Spec{Seed: 1, KVSlowProb: 1, KVSlowFactor: 4}))
+	val := make([]byte, 1<<16)
+	var a, b vclock.Clock
+	clean.Set(&a, "k", val)
+	faulty.Set(&b, "k", val)
+	// A spike multiplies the operation's nominal charge by the factor.
+	if want := 4 * a.Now(); b.Now() != want {
+		t.Fatalf("slow Set charged %v, want %v (clean %v)", b.Now(), want, a.Now())
+	}
+}
+
+func TestFaultFailedOpsCostRetries(t *testing.T) {
+	link := netmodel.RedisLink()
+	in := faults.New(faults.Spec{Seed: 1, KVFailProb: 1})
+	s := New(link)
+	s.SetFaults(in)
+	val := make([]byte, 4096)
+	var clk vclock.Clock
+	s.Set(&clk, "k", val)
+	base := link.TransferTime(len(val))
+	// Probability 1 exhausts the retry budget: 5 failed attempts, each
+	// costing the client timeout plus a re-execution, then the success.
+	want := base + 5*(faults.DefaultRetryPenalty+base)
+	if clk.Now() != want {
+		t.Fatalf("failed Set charged %v, want %v", clk.Now(), want)
+	}
+	if m := in.Metrics(); m.KVFailures != 5 {
+		t.Fatalf("KVFailures = %d, want 5", m.KVFailures)
+	}
+	// Failures are retried client-side; the data still lands.
+	if _, ok := s.Get(&clk, "k"); !ok {
+		t.Fatal("value lost to injected failures")
+	}
+}
+
+func TestFaultRemovedWithNil(t *testing.T) {
+	link := netmodel.RedisLink()
+	s := New(link)
+	s.SetFaults(faults.New(faults.Spec{Seed: 1, KVSlowProb: 1}))
+	s.SetFaults(nil)
+	var clk vclock.Clock
+	val := make([]byte, 4096)
+	s.Set(&clk, "k", val)
+	if clk.Now() != link.TransferTime(len(val)) {
+		t.Fatalf("removed injector still charged: %v", clk.Now())
 	}
 }

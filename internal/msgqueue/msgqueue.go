@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"mlless/internal/faults"
 	"mlless/internal/netmodel"
 	"mlless/internal/vclock"
 )
@@ -33,7 +35,8 @@ type Metrics struct {
 
 // Broker is a simulated message broker.
 type Broker struct {
-	link netmodel.Link
+	link   netmodel.Link
+	faults *faults.Injector
 
 	mu        sync.Mutex
 	queues    map[string][][]byte
@@ -48,6 +51,27 @@ func New(link netmodel.Link) *Broker {
 		queues:    make(map[string][][]byte),
 		exchanges: make(map[string]map[string]bool),
 	}
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector that adds
+// per-operation failures (client-retried, costing time) and latency
+// spikes. Do not call concurrently with operations; the engine installs
+// it during job setup and removes it at teardown.
+func (b *Broker) SetFaults(in *faults.Injector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = in
+}
+
+// chargeFaults advances clk by any injected penalty for an operation
+// that nominally cost base; clk.Now() (post nominal charge) identifies
+// the operation instant. The lock-free read of b.faults is safe because
+// SetFaults happens-before the worker goroutines that publish/consume.
+func (b *Broker) chargeFaults(clk *vclock.Clock, op, queue string, base time.Duration) {
+	if b.faults == nil {
+		return
+	}
+	clk.Advance(b.faults.MQDelay(op, queue, clk.Now(), base))
 }
 
 // DeclareQueue creates a queue if it does not exist (idempotent).
@@ -102,7 +126,9 @@ func (b *Broker) Unbind(exchange, queue string) {
 
 // Publish appends a copy of msg to queue, charging one transfer to clk.
 func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
-	clk.Advance(b.link.TransferTime(len(msg)))
+	base := b.link.TransferTime(len(msg))
+	clk.Advance(base)
+	b.chargeFaults(clk, "publish", queue, base)
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 
@@ -121,7 +147,9 @@ func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
 // A single transfer is charged: the broker VM, not the publisher,
 // performs the replication.
 func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) error {
-	clk.Advance(b.link.TransferTime(len(msg)))
+	base := b.link.TransferTime(len(msg))
+	clk.Advance(base)
+	b.chargeFaults(clk, "fanout", exchange, base)
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -153,7 +181,9 @@ func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
 	}
 	b.mu.Unlock()
 
-	clk.Advance(b.link.TransferTime(len(msg)))
+	base := b.link.TransferTime(len(msg))
+	clk.Advance(base)
+	b.chargeFaults(clk, "consume", queue, base)
 	return msg, ok
 }
 
@@ -170,7 +200,9 @@ func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
 	for _, m := range msgs {
 		total += len(m)
 	}
-	clk.Advance(b.link.TransferTime(total))
+	base := b.link.TransferTime(total)
+	clk.Advance(base)
+	b.chargeFaults(clk, "consume-all", queue, base)
 	return msgs
 }
 

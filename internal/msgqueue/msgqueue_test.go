@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mlless/internal/faults"
 	"mlless/internal/netmodel"
 	"mlless/internal/vclock"
 )
@@ -193,5 +194,59 @@ func TestConcurrentPublishers(t *testing.T) {
 	wg.Wait()
 	if b.Len("q") != 800 {
 		t.Fatalf("queue depth = %d", b.Len("q"))
+	}
+}
+
+// --- fault injection ---
+
+func TestFaultSlowPublishMultipliesCharge(t *testing.T) {
+	link := netmodel.BrokerLink()
+	clean := New(link)
+	in := faults.New(faults.Spec{Seed: 2, MQSlowProb: 1, MQSlowFactor: 3})
+	faulty := New(link)
+	faulty.SetFaults(in)
+	clean.DeclareQueue("q")
+	faulty.DeclareQueue("q")
+	msg := make([]byte, 8192)
+	var a, b vclock.Clock
+	if err := clean.Publish(&a, "q", msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.Publish(&b, "q", msg); err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * a.Now(); b.Now() != want {
+		t.Fatalf("slow Publish charged %v, want %v (clean %v)", b.Now(), want, a.Now())
+	}
+	if m := in.Metrics(); m.MQSlowOps != 1 {
+		t.Fatalf("MQSlowOps = %d, want 1", m.MQSlowOps)
+	}
+	// The message is delivered despite the spike.
+	if got, ok := faulty.Consume(&b, "q"); !ok || len(got) != len(msg) {
+		t.Fatalf("Consume after spike = %d bytes, %v", len(got), ok)
+	}
+}
+
+func TestFaultFailedPublishCostsRetries(t *testing.T) {
+	link := netmodel.BrokerLink()
+	in := faults.New(faults.Spec{Seed: 2, MQFailProb: 1})
+	b := New(link)
+	b.SetFaults(in)
+	b.DeclareQueue("q")
+	msg := make([]byte, 2048)
+	var clk vclock.Clock
+	if err := b.Publish(&clk, "q", msg); err != nil {
+		t.Fatal(err)
+	}
+	base := link.TransferTime(len(msg))
+	want := base + 5*(faults.DefaultRetryPenalty+base)
+	if clk.Now() != want {
+		t.Fatalf("failed Publish charged %v, want %v", clk.Now(), want)
+	}
+	if m := in.Metrics(); m.MQFailures != 5 {
+		t.Fatalf("MQFailures = %d, want 5", m.MQFailures)
+	}
+	if b.Len("q") != 1 {
+		t.Fatal("message lost to injected failures")
 	}
 }

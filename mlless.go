@@ -47,6 +47,7 @@ import (
 	"mlless/internal/core"
 	"mlless/internal/cost"
 	"mlless/internal/dataset"
+	"mlless/internal/faults"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
 	"mlless/internal/sched"
@@ -79,6 +80,16 @@ type (
 	CostReport = cost.Report
 	// CostComponent is one billed element.
 	CostComponent = cost.Component
+	// FaultSpec configures seeded fault injection for a job (set it on
+	// Spec.Faults): transient invocation failures, cold-start
+	// stragglers, mid-run container reclamation and KV/broker fault
+	// delays. The zero value disables every fault; a fixed seed makes
+	// runs bit-identical.
+	FaultSpec = faults.Spec
+	// FaultMetrics counts the faults injected into a run.
+	FaultMetrics = faults.Metrics
+	// Recovery aggregates the fault-recovery work a run performed.
+	Recovery = core.Recovery
 )
 
 // ML types.
