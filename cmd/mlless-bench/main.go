@@ -33,6 +33,7 @@ func run() error {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
 		series = flag.Bool("series", false, "with fig6: also print the loss-vs-time series per workload")
+		trDir  = flag.String("trace-dir", "", "dump a Chrome trace-event JSON per MLLess run into this directory")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func run() error {
 		return nil
 	}
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, TraceDir: *trDir}
 	ids := experiments.IDs()
 	if *exp != "all" {
 		if _, ok := experiments.Lookup(*exp); !ok {

@@ -41,17 +41,21 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "dataset seed")
 		quiet     = flag.Bool("quiet", false, "suppress per-step progress")
 		jsonOut   = flag.String("json", "", "write the full result (trace, evictions, bill) as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
+		timeline  = flag.Bool("timeline", false, "print the per-step phase-time decomposition table")
+		metrics   = flag.Bool("metrics", false, "print the unified cluster metrics snapshot")
 
 		faultSeed      = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
 		faultInvoke    = flag.Float64("fault-invoke", 0, "transient invocation failure probability")
 		faultStraggler = flag.Float64("fault-straggler", 0, "cold-start straggler probability (heavy-tailed multiplier)")
 		faultReclaim   = flag.Float64("fault-reclaim", 0, "mid-run container reclamation probability per invocation")
-		reclaimLife    = flag.Duration("fault-reclaim-life", 0, "mean container lifetime when reclaimed (0 = default 5m)")
+		reclaimLife    = flag.Duration("fault-reclaim-life", 20*time.Second, "mean container lifetime when reclaimed (demo scale; real platforms average ~5m)")
 		faultKV        = flag.Float64("fault-kv", 0, "per-operation KV store failure probability")
 		faultKVSlow    = flag.Float64("fault-kv-slow", 0, "per-operation KV store latency-spike probability")
 		faultMQ        = flag.Float64("fault-mq", 0, "per-operation broker failure probability")
 		faultMQSlow    = flag.Float64("fault-mq-slow", 0, "per-operation broker latency-spike probability")
 	)
+	flag.Float64Var(faultReclaim, "fault-reclaim-prob", 0, "alias for -fault-reclaim")
 	flag.Parse()
 
 	cluster := mlless.NewCluster()
@@ -83,6 +87,12 @@ func run() error {
 		KVSlowProb:      *faultKVSlow,
 		MQFailProb:      *faultMQ,
 		MQSlowProb:      *faultMQSlow,
+	}
+
+	var tracer *mlless.Tracer
+	if *traceOut != "" || *timeline {
+		tracer = mlless.NewTracer()
+		job.Trace = tracer
 	}
 
 	fmt.Printf("training %s on %s: P=%d B=%d sync=%s autotune=%v system=%s\n",
@@ -123,6 +133,32 @@ func run() error {
 	}
 	fmt.Println("bill:")
 	fmt.Print(res.Cost)
+	if *timeline {
+		fmt.Println("step timeline (ms):")
+		if err := mlless.WriteStepTimeline(os.Stdout, tracer); err != nil {
+			return err
+		}
+	}
+	if *metrics {
+		fmt.Println("cluster metrics:")
+		if err := cluster.Metrics.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := mlless.WriteChromeTrace(f, tracer); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", *traceOut, "(load it at https://ui.perfetto.dev)")
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

@@ -33,6 +33,7 @@ import (
 	"mlless/internal/fit"
 	"mlless/internal/objstore"
 	"mlless/internal/sparse"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -130,7 +131,9 @@ func Train(platform *faas.Platform, cos *objstore.Store, job core.Job, cfg Confi
 		return time.Duration(secs * float64(time.Second))
 	}
 
+	tr := job.Trace
 	for step := 1; step <= spec.MaxSteps; step++ {
+		stepStart := clk.Now()
 		// ---- Map phase: P fresh function activations.
 		start := faasCfg.ColdStart
 		if warm {
@@ -165,6 +168,13 @@ func Train(platform *faas.Platform, cos *objstore.Store, job core.Job, cfg Confi
 		}
 		clk.Advance(slowestMap)
 		mapBilledTotal += mapBilled
+		if tr.Enabled() {
+			// One "mapreduce" track: rounds are sequential, so the span
+			// pair map→reduce per step is the whole story.
+			tr.SpanOn("mapreduce", trace.CatEngine, "map", stepStart, clk.Now(),
+				trace.Int("step", step), trace.Int("maps", p))
+		}
+		reduceStart := clk.Now()
 
 		// ---- Reduce phase: one function aggregates and updates.
 		var rclk vclock.Clock
@@ -181,6 +191,10 @@ func Train(platform *faas.Platform, cos *objstore.Store, job core.Job, cfg Confi
 		cos.Put(&rclk, bucketState, stateKey, make([]byte, denseBytes))  // new model
 		clk.Advance(rclk.Now())
 		reduceBilledTotal += rclk.Now()
+		if tr.Enabled() {
+			tr.SpanOn("mapreduce", trace.CatEngine, "reduce", reduceStart, clk.Now(),
+				trace.Int("step", step))
+		}
 
 		raw := lossSum / float64(p)
 		smoothed := smoother.Update(raw)

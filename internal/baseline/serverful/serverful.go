@@ -33,6 +33,7 @@ import (
 	"mlless/internal/netmodel"
 	"mlless/internal/objstore"
 	"mlless/internal/sparse"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -130,8 +131,10 @@ func Train(cos *objstore.Store, job core.Job, cfg Config) (*core.Result, error) 
 	diverged := false
 	prev := time.Duration(0)
 
+	tr := job.Trace
 	gradSum := sparse.New() // accumulated across workers; models reuse a scratch gradient
 	for step := 1; step <= spec.MaxSteps; step++ {
+		stepStart := clk.Now()
 		// Every worker fetches its own mini-batch concurrently; the step
 		// waits for the slowest fetch.
 		var slowest time.Duration
@@ -152,6 +155,13 @@ func Train(cos *objstore.Store, job core.Job, cfg Config) (*core.Result, error) 
 			batchLen = len(batch)
 		}
 		clk.Advance(slowest)
+		if tr.Enabled() {
+			// The cluster advances in lock-step (workers are symmetric),
+			// so the whole pool is one "cluster" track.
+			tr.SpanOn("cluster", trace.CatEngine, "fetch", stepStart, clk.Now(),
+				trace.Int("step", step))
+		}
+		computeStart := clk.Now()
 
 		// Per-worker math on the batch (MKL-speed kernels)...
 		computeSecs := 1.5 * mdl.GradientWork(batchLen) / cfg.FlopsPerSecond
@@ -161,9 +171,18 @@ func Train(cos *objstore.Store, job core.Job, cfg Config) (*core.Result, error) 
 		// models (§6.2).
 		computeSecs += float64(mdl.NumParams()) / cfg.DenseParamThroughput
 		clk.Advance(time.Duration(computeSecs * float64(time.Second)))
+		if tr.Enabled() {
+			tr.SpanOn("cluster", trace.CatEngine, "compute", computeStart, clk.Now(),
+				trace.Int("step", step))
+		}
 
 		// Ring all-reduce of the dense gradient.
+		allreduceStart := clk.Now()
 		clk.Advance(allreduce.RingTime(cfg.Link, p, denseBytes))
+		if tr.Enabled() {
+			tr.SpanOn("cluster", trace.CatEngine, "allreduce", allreduceStart, clk.Now(),
+				trace.Int("step", step), trace.Int("bytes", denseBytes*p))
+		}
 
 		// Identical averaged update on every replica (we keep one).
 		gradSum.Scale(1 / float64(p))

@@ -16,6 +16,7 @@ import (
 	"mlless/internal/msgqueue"
 	"mlless/internal/netmodel"
 	"mlless/internal/objstore"
+	"mlless/internal/trace"
 )
 
 // ComputeModel converts floating-point work into virtual compute time.
@@ -49,20 +50,26 @@ type Cluster struct {
 	Platform *faas.Platform
 	// Compute converts flops to virtual seconds.
 	Compute ComputeModel
+	// Metrics is the unified registry every service's counters live in
+	// ("kv.*", "obj.*", "mq.*", "faas.*"); one snapshot covers the whole
+	// deployment.
+	Metrics *trace.Registry
 
 	mu    sync.Mutex
 	jobID int
 }
 
 // NewCluster builds a cluster with the default link parameters and FaaS
-// configuration.
+// configuration. All services share one metrics registry (Metrics).
 func NewCluster() *Cluster {
+	reg := trace.NewRegistry()
 	return &Cluster{
-		Redis:    kvstore.New(netmodel.RedisLink()),
-		COS:      objstore.New(netmodel.COSLink()),
-		Broker:   msgqueue.New(netmodel.BrokerLink()),
-		Platform: faas.NewPlatform(faas.DefaultConfig()),
+		Redis:    kvstore.NewWithRegistry(netmodel.RedisLink(), reg),
+		COS:      objstore.NewWithRegistry(netmodel.COSLink(), reg),
+		Broker:   msgqueue.NewWithRegistry(netmodel.BrokerLink(), reg),
+		Platform: faas.NewPlatformWithRegistry(faas.DefaultConfig(), reg),
 		Compute:  DefaultComputeModel(),
+		Metrics:  reg,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"mlless/internal/optimizer"
 	"mlless/internal/sched"
 	"mlless/internal/sparse"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -70,6 +71,7 @@ type engine struct {
 	tuner    *sched.Tuner
 	meter    cost.Meter
 	faults   *faults.Injector
+	tr       *trace.Tracer
 
 	history     []LossPoint
 	removals    []Removal
@@ -104,6 +106,23 @@ func Run(cl *Cluster, job Job) (*Result, error) {
 		job:      job,
 		id:       cl.nextJobID(),
 		smoother: fit.NewEWMA(job.Spec.LossAlpha),
+		tr:       job.Trace,
+	}
+	if e.tr.Enabled() {
+		// Install the tracer on every substrate for the duration of the
+		// run, mirroring the fault-injector lifecycle below. Operations
+		// land on the track of whichever registered clock they are charged
+		// to.
+		cl.Platform.SetTracer(e.tr)
+		cl.Redis.SetTracer(e.tr)
+		cl.COS.SetTracer(e.tr)
+		cl.Broker.SetTracer(e.tr)
+		defer func() {
+			cl.Platform.SetTracer(nil)
+			cl.Redis.SetTracer(nil)
+			cl.COS.SetTracer(nil)
+			cl.Broker.SetTracer(nil)
+		}()
 	}
 	if job.Spec.Faults.Enabled() {
 		// Install the seeded injector on every substrate for the
@@ -160,6 +179,30 @@ func (e *engine) supName() string {
 	return fmt.Sprintf("%s/supervisor-r%d", e.id, e.supGen)
 }
 
+// workerTrack names a worker's trace track; unlike billing labels it is
+// stable across relaunch generations, so one worker is one timeline.
+func workerTrack(id int) string { return fmt.Sprintf("worker-%d", id) }
+
+// supTrack is the supervisor's trace track.
+const supTrack = "supervisor"
+
+// traceBoot registers a freshly invoked instance's clock under track and
+// records its start latency as a cold-start or warm-start span. Call it
+// immediately after a successful invocation, before charging anything
+// else to the clock.
+func (e *engine) traceBoot(inst *faas.Instance, track string) {
+	if !e.tr.Enabled() {
+		return
+	}
+	e.tr.RegisterClock(&inst.Clock, track)
+	name := "warm-start"
+	if inst.Cold {
+		name = "cold-start"
+	}
+	e.tr.SpanOn(track, trace.CatFaaS, name, inst.StartedAt(), inst.Clock.Now(),
+		trace.Str("fn", inst.Name))
+}
+
 func (e *engine) setup() error {
 	spec := e.job.Spec
 
@@ -168,6 +211,7 @@ func (e *engine) setup() error {
 		return fmt.Errorf("core: launch supervisor: %w", err)
 	}
 	e.sup = sup
+	e.traceBoot(sup, supTrack)
 
 	e.cl.Broker.DeclareQueue(e.lossQueue())
 	e.cl.Broker.DeclareFanout(e.annExchange())
@@ -182,6 +226,7 @@ func (e *engine) setup() error {
 		if err != nil {
 			return fmt.Errorf("core: launch worker %d: %w", i, err)
 		}
+		e.traceBoot(inst, workerTrack(i))
 		e.cl.Broker.DeclareQueue(e.annQueue(i))
 		if err := e.cl.Broker.Bind(e.annExchange(), e.annQueue(i)); err != nil {
 			return fmt.Errorf("core: bind worker %d: %w", i, err)
@@ -212,6 +257,9 @@ func (e *engine) setup() error {
 			cfg.MinWorkers = spec.Workers / 4
 		}
 		e.tuner = sched.New(cfg)
+		if e.tr.Enabled() {
+			e.tuner.SetTracer(e.tr, supTrack)
+		}
 	}
 	return nil
 }
@@ -290,6 +338,7 @@ func (e *engine) recoverWorker(w *workerState) error {
 		return fmt.Errorf("core: recover worker %d: %w", w.id, err)
 	}
 	w.inst = inst
+	e.traceBoot(inst, workerTrack(w.id))
 	// Parameters plus optimizer state (~2x params, as in maybeRelaunch);
 	// charged, not materialized — the in-memory replica already holds
 	// the restored state.
@@ -299,6 +348,15 @@ func (e *engine) recoverWorker(w *workerState) error {
 	e.recovery.WorkerDeaths++
 	e.recovery.RestartTime += w.inst.Clock.Now() - deadAt
 	e.recMu.Unlock()
+	if e.tr.Enabled() {
+		// Two views of the same interval: the FaaS lifecycle sees a
+		// relaunch caused by reclamation; the fault layer sees recovery
+		// work (re-download) it must account to the overhead bill.
+		e.tr.SpanOn(workerTrack(w.id), trace.CatFaaS, "relaunch", deadAt, w.inst.Clock.Now(),
+			trace.Int("gen", w.gen), trace.Str("cause", "reclaim"))
+		e.tr.SpanOn(workerTrack(w.id), trace.CatFault, "recover", deadAt, w.inst.Clock.Now(),
+			trace.Int("gen", w.gen))
+	}
 	return nil
 }
 
@@ -323,6 +381,10 @@ func (e *engine) redoSegmentOnDeath(w *workerState, segStart time.Duration, what
 		e.recMu.Lock()
 		e.recovery.RecomputeTime += redo
 		e.recMu.Unlock()
+		if e.tr.Enabled() {
+			e.tr.SpanOn(workerTrack(w.id), trace.CatFault, "recompute",
+				segStart, w.inst.Clock.Now(), trace.Str("what", what))
+		}
 	}
 	return nil
 }
@@ -337,6 +399,7 @@ func (e *engine) maybeRelaunch(w *workerState) error {
 	}
 	// Checkpoint: model parameters plus optimizer state (≈2x params for
 	// Adam's two moments; charged, not materialized).
+	ckptStart := w.inst.Clock.Now()
 	params := denseOf(w.model)
 	payload := params.Encode()
 	e.cl.Redis.Set(&w.inst.Clock, e.ckptKey(w.id), payload)
@@ -352,6 +415,7 @@ func (e *engine) maybeRelaunch(w *workerState) error {
 		return fmt.Errorf("core: relaunch worker %d: %w", w.id, err)
 	}
 	w.inst = inst
+	e.traceBoot(inst, workerTrack(w.id))
 	// Download the checkpoint into the fresh instance, then delete it:
 	// consumed checkpoints must not accumulate in the store.
 	if _, ok := e.cl.Redis.Get(&w.inst.Clock, e.ckptKey(w.id)); !ok {
@@ -362,6 +426,10 @@ func (e *engine) maybeRelaunch(w *workerState) error {
 	e.recMu.Lock()
 	e.relaunches++
 	e.recMu.Unlock()
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatFaaS, "relaunch",
+			ckptStart, w.inst.Clock.Now(), trace.Int("gen", w.gen), trace.Str("cause", "limit"))
+	}
 	return nil
 }
 
@@ -375,6 +443,7 @@ func (e *engine) maybeRelaunchSup() error {
 	if cfg.MaxDuration <= 0 || e.sup.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
 		return nil
 	}
+	ckptStart := e.sup.Clock.Now()
 	ckpt := make([]byte, 24*len(e.history)+1024)
 	e.cl.Redis.Set(&e.sup.Clock, e.id+"/sup-ckpt", ckpt)
 	resumeAt := e.sup.Clock.Now()
@@ -388,6 +457,7 @@ func (e *engine) maybeRelaunchSup() error {
 		return fmt.Errorf("core: relaunch supervisor: %w", err)
 	}
 	e.sup = sup
+	e.traceBoot(sup, supTrack)
 	if _, ok := e.cl.Redis.Get(&e.sup.Clock, e.id+"/sup-ckpt"); !ok {
 		return fmt.Errorf("core: relaunch supervisor: checkpoint vanished")
 	}
@@ -395,6 +465,10 @@ func (e *engine) maybeRelaunchSup() error {
 	e.recMu.Lock()
 	e.relaunches++
 	e.recMu.Unlock()
+	if e.tr.Enabled() {
+		e.tr.SpanOn(supTrack, trace.CatFaaS, "relaunch",
+			ckptStart, e.sup.Clock.Now(), trace.Int("gen", e.supGen), trace.Str("cause", "limit"))
+	}
 	return nil
 }
 
@@ -413,11 +487,18 @@ func (e *engine) recoverSup() error {
 		return fmt.Errorf("core: recover supervisor: %w", err)
 	}
 	e.sup = sup
+	e.traceBoot(sup, supTrack)
 	e.sup.Clock.Advance(e.cl.Redis.TransferTime(24*len(e.history) + 1024))
 	e.recMu.Lock()
 	e.recovery.WorkerDeaths++
 	e.recovery.RestartTime += e.sup.Clock.Now() - deadAt
 	e.recMu.Unlock()
+	if e.tr.Enabled() {
+		e.tr.SpanOn(supTrack, trace.CatFaaS, "relaunch", deadAt, e.sup.Clock.Now(),
+			trace.Int("gen", e.supGen), trace.Str("cause", "reclaim"))
+		e.tr.SpanOn(supTrack, trace.CatFault, "recover", deadAt, e.sup.Clock.Now(),
+			trace.Int("gen", e.supGen))
+	}
 	return nil
 }
 
@@ -437,9 +518,11 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 	}
 	clk := &w.inst.Clock
 	segStart := clk.Now()
+	traced := e.tr.Enabled()
 
 	// Reintegrate an evicted peer's replica (§4.2, eviction policy).
 	if w.pendingMerge != "" {
+		mergeStart := clk.Now()
 		if buf, ok := e.cl.Redis.Get(clk, w.pendingMerge); ok {
 			replica, err := sparse.DecodeDense(buf)
 			if err != nil {
@@ -449,16 +532,26 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 			e.chargeCompute(w, 2*float64(len(replica)))
 		}
 		w.pendingMerge = ""
+		if traced {
+			e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "merge",
+				mergeStart, clk.Now(), trace.Int("step", step))
+		}
 	}
 
 	// Fetch this step's mini-batch from object storage (§3.2).
+	fetchStart := clk.Now()
 	batchIdx := e.plan.BatchFor(w.id, step)
 	batch, err := e.batches.Fetch(clk, batchIdx)
 	if err != nil {
 		return fmt.Errorf("core: worker %d step %d: %w", w.id, step, err)
 	}
+	if traced {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "fetch",
+			fetchStart, clk.Now(), trace.Int("step", step), trace.Int("batch", batchIdx))
+	}
 
 	// Local loss and gradient (real math, virtual time).
+	computeStart := clk.Now()
 	loss := w.model.Loss(batch)
 	grad := w.model.Gradient(batch)
 	e.chargeCompute(w, 1.5*w.model.GradientWork(len(batch)))
@@ -485,6 +578,14 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 	// Significance filter, then publish the significant part.
 	sig := w.filter.Add(step, u, w.model.Params())
 	e.chargeCompute(w, 2*float64(sig.Len()))
+	publishStart := clk.Now()
+	if traced {
+		// The compute span covers gradient, optimizer and filter work —
+		// and, on a reclaimed container, the recovery in between, which
+		// the overlapping fault spans itemize.
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "compute",
+			computeStart, publishStart, trace.Int("step", step))
+	}
 	payload := sig.Encode()
 	e.cl.Redis.Set(clk, e.updKey(step, w.id), payload)
 
@@ -496,6 +597,10 @@ func (e *engine) phaseA(w *workerState, step, pActive int) error {
 	if err := e.cl.Broker.Publish(clk, e.lossQueue(),
 		lossReport{Worker: uint32(w.id), Step: uint32(step), Loss: loss, UpdateBytes: uint32(len(payload))}.encode()); err != nil {
 		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
+	}
+	if traced {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "publish",
+			publishStart, clk.Now(), trace.Int("step", step), trace.Int("bytes", len(payload)))
 	}
 	w.lastLoss = loss
 	return nil
@@ -551,6 +656,10 @@ func (e *engine) phaseB(w *workerState, fromStep, toStep int, active []*workerSt
 	}
 	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
 	e.chargeCompute(w, 4*float64(applied))
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "pull",
+			segStart, w.inst.Clock.Now(), trace.Int("step", toStep))
+	}
 	// A death mid-pull loses the fetched-but-unapplied updates; the
 	// replacement redoes the pull (same data, time recharged).
 	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("sync at step %d", toStep))
@@ -626,6 +735,16 @@ func (e *engine) loop() (*Result, error) {
 		}
 		var barrier time.Duration
 		if syncStep {
+			if e.tr.Enabled() {
+				// Record each worker's barrier wait before reconciling:
+				// the gap to the pool maximum is exactly what Barrier
+				// will charge it.
+				max := vclock.Max(clocks)
+				for i, w := range active {
+					e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "barrier",
+						clocks[i].Now(), max, trace.Int("step", step))
+				}
+			}
 			// BSP barrier (§3.1): the slowest worker paces the step.
 			barrier = vclock.Barrier(clocks)
 			for s := lastSync + 1; s <= step; s++ {
@@ -679,6 +798,10 @@ func (e *engine) loop() (*Result, error) {
 		raw, updateBytes, err := e.aggregateReports(pActive)
 		if err != nil {
 			return nil, err
+		}
+		if e.tr.Enabled() {
+			e.tr.SpanOn(supTrack, trace.CatEngine, "aggregate",
+				barrier, e.sup.Clock.Now(), trace.Int("step", step))
 		}
 		smoothed := e.smoother.Update(raw)
 		e.totalUpdateBytes += updateBytes
@@ -794,6 +917,11 @@ func (e *engine) evictOne(step int, now time.Duration, active []*workerState) er
 	e.removals = append(e.removals, Removal{
 		Step: step, Time: now, Worker: victim.id, WorkersLeft: len(active) - 1,
 	})
+	if e.tr.Enabled() {
+		e.tr.InstantOn(supTrack, trace.CatSched, "evict", now,
+			trace.Int("step", step), trace.Int("worker", victim.id),
+			trace.Int("workers_left", len(active)-1))
+	}
 	return nil
 }
 
@@ -867,6 +995,20 @@ func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, erro
 	if len(e.history) > 0 {
 		finalLoss = e.history[len(e.history)-1].Loss
 	}
+	var stepPhases []StepPhase
+	if e.tr.Enabled() {
+		for _, b := range trace.Timeline(e.tr.Events()) {
+			stepPhases = append(stepPhases, StepPhase{
+				Step:    b.Step,
+				Merge:   b.Stat("merge").Mean,
+				Fetch:   b.Stat("fetch").Mean,
+				Compute: b.Stat("compute").Mean,
+				Publish: b.Stat("publish").Mean,
+				Pull:    b.Stat("pull").Mean,
+				Barrier: b.Stat("barrier").Max,
+			})
+		}
+	}
 	return &Result{
 		Converged:        converged,
 		Diverged:         diverged,
@@ -879,6 +1021,7 @@ func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, erro
 		TotalUpdateBytes: e.totalUpdateBytes,
 		Relaunches:       e.relaunches,
 		Recovery:         e.recovery,
+		StepPhases:       stepPhases,
 		Faults:           e.faults.Metrics(),
 	}, nil
 }

@@ -18,7 +18,7 @@ import (
 
 // testLRJob stages a small Criteo-shaped dataset and returns a cluster
 // and an LR job over it.
-func testLRJob(t *testing.T, workers int, spec Spec) (*Cluster, Job) {
+func testLRJob(t testing.TB, workers int, spec Spec) (*Cluster, Job) {
 	t.Helper()
 	cl := NewCluster()
 	cfg := dataset.CriteoConfig{
@@ -44,7 +44,7 @@ func testLRJob(t *testing.T, workers int, spec Spec) (*Cluster, Job) {
 
 // testPMFJob stages a small MovieLens-shaped dataset and returns a
 // cluster and PMF job.
-func testPMFJob(t *testing.T, workers int, spec Spec) (*Cluster, Job) {
+func testPMFJob(t testing.TB, workers int, spec Spec) (*Cluster, Job) {
 	t.Helper()
 	cl := NewCluster()
 	cfg := dataset.MovieLensConfig{Users: 150, Items: 600, Ratings: 30000, Rank: 8, NoiseStd: 0.6, Seed: 21}

@@ -21,6 +21,7 @@ type exportedResult struct {
 	Relaunches int               `json:"relaunches"`
 	Recovery   *exportedRecovery `json:"recovery,omitempty"`
 	History    []exportedPoint   `json:"history"`
+	StepPhases []exportedPhases  `json:"step_phases,omitempty"`
 	Removals   []exportedRemoval `json:"removals,omitempty"`
 	Bill       []exportedCharge  `json:"bill"`
 }
@@ -30,6 +31,18 @@ type exportedRecovery struct {
 	WorkerDeaths  int     `json:"worker_deaths"`
 	RestartTime   float64 `json:"restart_time_s"`
 	RecomputeTime float64 `json:"recompute_time_s"`
+}
+
+// exportedPhases is one step's time decomposition (present only for
+// traced runs; see Result.StepPhases).
+type exportedPhases struct {
+	Step    int     `json:"step"`
+	Merge   float64 `json:"merge_s,omitempty"`
+	Fetch   float64 `json:"fetch_s"`
+	Compute float64 `json:"compute_s"`
+	Publish float64 `json:"publish_s"`
+	Pull    float64 `json:"pull_s"`
+	Barrier float64 `json:"barrier_s"`
 }
 
 type exportedPoint struct {
@@ -85,6 +98,13 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Step: p.Step, Time: secs(p.Time), Loss: p.Loss, RawLoss: p.RawLoss,
 			Workers: p.Workers, UpdateBytes: p.UpdateBytes,
 		}
+	}
+	for _, sp := range r.StepPhases {
+		out.StepPhases = append(out.StepPhases, exportedPhases{
+			Step: sp.Step, Merge: secs(sp.Merge), Fetch: secs(sp.Fetch),
+			Compute: secs(sp.Compute), Publish: secs(sp.Publish),
+			Pull: secs(sp.Pull), Barrier: secs(sp.Barrier),
+		})
 	}
 	for _, rm := range r.Removals {
 		out.Removals = append(out.Removals, exportedRemoval{

@@ -52,4 +52,61 @@ func TestWriteJSON(t *testing.T) {
 	if bill[0].(map[string]any)["usd"].(float64) != 0.25 {
 		t.Fatalf("bill: %v", bill)
 	}
+	if _, ok := parsed["recovery"]; ok {
+		t.Fatal("recovery block exported for an undisturbed run")
+	}
+	if _, ok := parsed["step_phases"]; ok {
+		t.Fatal("step_phases exported for an untraced run")
+	}
+}
+
+func TestWriteJSONRecoveryAndPhases(t *testing.T) {
+	res := &Result{
+		ExecTime: 10 * time.Second,
+		Steps:    1,
+		Recovery: Recovery{
+			InvokeRetries: 3,
+			WorkerDeaths:  2,
+			RestartTime:   1500 * time.Millisecond,
+			RecomputeTime: 250 * time.Millisecond,
+		},
+		StepPhases: []StepPhase{{
+			Step: 1, Fetch: 100 * time.Millisecond, Compute: 2 * time.Second,
+			Publish: 50 * time.Millisecond, Pull: 300 * time.Millisecond,
+			Barrier: 40 * time.Millisecond,
+		}},
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := parsed["recovery"].(map[string]any)
+	if !ok {
+		t.Fatal("recovery block missing")
+	}
+	if rec["invoke_retries"].(float64) != 3 || rec["worker_deaths"].(float64) != 2 {
+		t.Fatalf("recovery counters: %v", rec)
+	}
+	if rec["restart_time_s"].(float64) != 1.5 || rec["recompute_time_s"].(float64) != 0.25 {
+		t.Fatalf("recovery durations: %v", rec)
+	}
+	phases, ok := parsed["step_phases"].([]any)
+	if !ok || len(phases) != 1 {
+		t.Fatalf("step_phases: %v", parsed["step_phases"])
+	}
+	p0 := phases[0].(map[string]any)
+	if p0["step"].(float64) != 1 || p0["compute_s"].(float64) != 2 {
+		t.Fatalf("phase row: %v", p0)
+	}
+	if p0["fetch_s"].(float64) != 0.1 || p0["barrier_s"].(float64) != 0.04 {
+		t.Fatalf("phase row: %v", p0)
+	}
+	if _, ok := p0["merge_s"]; ok {
+		t.Fatal("zero merge_s should be omitted")
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
 	"mlless/internal/sched"
+	"mlless/internal/trace"
 )
 
 // Validation errors.
@@ -113,6 +114,12 @@ type Job struct {
 	// BatchSize is the per-worker mini-batch size B (metadata for
 	// reporting; the staged batches define the actual sizes).
 	BatchSize int
+	// Trace, when non-nil, records the run's virtual-time trace: engine
+	// phases, substrate operations, FaaS lifecycle, scheduler decisions
+	// and fault recovery (see internal/trace). The engine installs it on
+	// every cluster service for the duration of the run and removes it at
+	// teardown. Nil (the default) disables tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 func (j Job) validate(memoryMiB int) error {

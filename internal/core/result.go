@@ -38,6 +38,28 @@ type Removal struct {
 	WorkersLeft int
 }
 
+// StepPhase is one step's time decomposition (the §5 t_step breakdown),
+// derived from the run's trace: mean per-worker virtual time in each
+// engine phase, except Barrier, which is the longest wait (the slowest
+// worker paces the step). Durations are zero for phases that did not
+// occur in the step.
+type StepPhase struct {
+	// Step is the 1-based training step.
+	Step int
+	// Merge is the one-shot reintegration of an evicted peer's replica.
+	Merge time.Duration
+	// Fetch is the mini-batch download from object storage.
+	Fetch time.Duration
+	// Compute is the local gradient/optimizer/filter work.
+	Compute time.Duration
+	// Publish is the update upload plus broker announcements.
+	Publish time.Duration
+	// Pull is the peer-update download and aggregation.
+	Pull time.Duration
+	// Barrier is the longest BSP barrier wait.
+	Barrier time.Duration
+}
+
 // Recovery aggregates the fault-recovery work a run performed: what it
 // cost, in virtual time, to survive injected failures (see
 // internal/faults). The zero value means an undisturbed run.
@@ -86,6 +108,9 @@ type Result struct {
 	Relaunches int
 	// Recovery aggregates the fault-recovery work the run performed.
 	Recovery Recovery
+	// StepPhases is the per-step time decomposition. Populated only when
+	// the job ran with a tracer (Job.Trace); empty otherwise.
+	StepPhases []StepPhase
 	// Faults counts the faults injected into the run (zero when the
 	// job's fault spec is disabled).
 	Faults faults.Metrics

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"mlless/internal/trace"
+)
+
+// benchmarkPMFRun measures a short PMF training run; the Untraced/Traced
+// pair guards the acceptance criterion that disabled tracing adds no
+// work to the engine hot path (compare ns/op and allocs/op):
+//
+//	go test ./internal/core -bench=BenchmarkRun -benchmem
+func benchmarkPMFRun(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl, job := testPMFJob(b, 4, Spec{MaxSteps: 30})
+		if traced {
+			job.Trace = trace.New()
+		}
+		if _, err := Run(cl, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunUntraced(b *testing.B) { benchmarkPMFRun(b, false) }
+
+func BenchmarkRunTraced(b *testing.B) { benchmarkPMFRun(b, true) }

@@ -7,7 +7,6 @@ import (
 	"mlless/internal/allreduce"
 	"mlless/internal/baseline/serverful"
 	"mlless/internal/consistency"
-	"mlless/internal/core"
 	"mlless/internal/cost"
 	"mlless/internal/knee"
 	"mlless/internal/netmodel"
@@ -48,7 +47,7 @@ func AblFilter(opts Options) (Table, error) {
 		if opts.Quick {
 			job.Spec.MaxSteps = 600
 		}
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, fmt.Sprintf("abl-filter-%v", variant))
 		if err != nil {
 			return Table{}, fmt.Errorf("abl-filter (%v): %w", variant, err)
 		}
@@ -89,7 +88,7 @@ func AblKnee(opts Options) (Table, error) {
 		job.Spec.Significance = wl.V
 		job.Spec.AutoTune = true
 		job.Spec.Sched = sched.Config{Epoch: epoch, Knee: d.det}
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, "abl-knee-"+d.name)
 		if err != nil {
 			return Table{}, fmt.Errorf("abl-knee (%s): %w", d.name, err)
 		}
@@ -126,7 +125,7 @@ func AblMerge(opts Options) (Table, error) {
 		job.Spec.AutoTune = true
 		job.Spec.Sched = sched.Config{Epoch: epoch}
 		job.Spec.NoEvictionMerge = !merge
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, fmt.Sprintf("abl-merge-%v", merge))
 		if err != nil {
 			return Table{}, fmt.Errorf("abl-merge (%v): %w", merge, err)
 		}
@@ -194,7 +193,7 @@ func AblStartup(opts Options) (Table, error) {
 	cl, job := wl.Make(workers)
 	job.Spec.Sync = consistency.ISP
 	job.Spec.Significance = wl.V
-	mlless, err := core.Run(cl, job)
+	mlless, err := runJob(opts, cl, job, "abl-startup-mlless")
 	if err != nil {
 		return Table{}, fmt.Errorf("abl-startup: %w", err)
 	}
@@ -251,7 +250,7 @@ func AblSSP(opts Options) (Table, error) {
 		if opts.Quick {
 			job.Spec.MaxSteps = 600
 		}
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, fmt.Sprintf("abl-ssp-s%d", s))
 		if err != nil {
 			return Table{}, fmt.Errorf("abl-ssp (s=%d): %w", s, err)
 		}

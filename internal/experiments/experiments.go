@@ -12,8 +12,13 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"mlless/internal/core"
+	"mlless/internal/trace"
 )
 
 // Table is a printable experiment result.
@@ -90,6 +95,44 @@ type Options struct {
 	// suite runs in seconds (used by `go test -bench` and CI); the full
 	// configuration reproduces the paper's settings at simulator scale.
 	Quick bool
+	// TraceDir, when non-empty, dumps a Chrome trace-event JSON file per
+	// MLLess training run into this directory (created on demand), named
+	// after the experiment point ("fig4-pmf-1m-p12-v0.7.trace.json").
+	TraceDir string
+}
+
+// runJob executes one MLLess training run for an experiment point,
+// dumping its virtual-time trace when Options.TraceDir is set. label
+// names the point and must be unique within the experiment.
+func runJob(opts Options, cl *core.Cluster, job core.Job, label string) (*core.Result, error) {
+	if opts.TraceDir == "" {
+		return core.Run(cl, job)
+	}
+	job.Trace = trace.New()
+	res, err := core.Run(cl, job)
+	if err != nil {
+		return nil, err
+	}
+	if err := dumpTrace(opts.TraceDir, label, job.Trace); err != nil {
+		return nil, fmt.Errorf("%s: dump trace: %w", label, err)
+	}
+	return res, nil
+}
+
+// dumpTrace writes one tracer's events as <dir>/<label>.trace.json.
+func dumpTrace(dir, label string, tr *trace.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, label+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Runner executes one experiment.

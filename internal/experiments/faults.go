@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"mlless/internal/core"
 	"mlless/internal/faults"
 )
 
@@ -48,7 +47,7 @@ func AblFaults(opts Options) (Table, error) {
 			MQFailProb:      rate / 10,
 			MQSlowProb:      rate / 10,
 		}
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, fmt.Sprintf("abl-faults-rate%.2f", rate))
 		if err != nil {
 			return Table{}, fmt.Errorf("abl-faults (rate=%.2f): %w", rate, err)
 		}

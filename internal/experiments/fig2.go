@@ -16,7 +16,7 @@ func fig2Run(opts Options, workers, steps int) (*core.Result, error) {
 	cl, job := wl.Make(workers)
 	job.Spec.TargetLoss = 0
 	job.Spec.MaxSteps = steps
-	return core.Run(cl, job)
+	return runJob(opts, cl, job, fmt.Sprintf("fig2-p%d-steps%d", workers, steps))
 }
 
 // Fig2a reproduces Fig 2a: training speed (steps/s) of PMF (ML-1M) as

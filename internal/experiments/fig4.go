@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"mlless/internal/consistency"
-	"mlless/internal/core"
 )
 
 // Fig4 reproduces Fig 4: normalized execution time until convergence as
@@ -45,7 +44,7 @@ func Fig4(opts Options) (Table, error) {
 				cl, job := wl.Make(p)
 				job.Spec.Sync = consistency.ISP
 				job.Spec.Significance = v
-				res, err := core.Run(cl, job)
+				res, err := runJob(opts, cl, job, fmt.Sprintf("fig4-%s-p%d-v%g", wl.Name, p, v))
 				if err != nil {
 					return Table{}, fmt.Errorf("fig4 (%s P=%d v=%v): %w", wl.Name, p, v, err)
 				}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"mlless/internal/consistency"
-	"mlless/internal/core"
 	"mlless/internal/cost"
 	"mlless/internal/sched"
 )
@@ -49,7 +48,7 @@ func Fig5(opts Options) (Table, error) {
 				job.Spec.Significance = wl.V
 				job.Spec.AutoTune = tune
 				job.Spec.Sched = schedCfg
-				res, err := core.Run(cl, job)
+				res, err := runJob(opts, cl, job, fmt.Sprintf("fig5-%s-p%d-tune-%v", wl.Name, p, tune))
 				if err != nil {
 					return Table{}, fmt.Errorf("fig5 (%s P=%d tune=%v): %w", wl.Name, p, tune, err)
 				}

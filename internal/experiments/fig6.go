@@ -29,7 +29,8 @@ var (
 
 // runSystem executes one system on one workload until the deep
 // ("prudent") convergence threshold, memoizing the result.
-func runSystem(wl *Workload, system string, workers int, quick bool) (*core.Result, error) {
+func runSystem(opts Options, wl *Workload, system string, workers int) (*core.Result, error) {
+	quick := opts.Quick
 	key := runKey{wl.Name, system, workers}
 	runMu.Lock()
 	if res, ok := runCache[key]; ok {
@@ -54,11 +55,11 @@ func runSystem(wl *Workload, system string, workers int, quick bool) (*core.Resu
 		res, err = pywren.Train(cl.Platform, cl.COS, job, pywren.DefaultConfig())
 	case "mlless":
 		job.Spec.Sync = consistency.BSP
-		res, err = core.Run(cl, job)
+		res, err = runJob(opts, cl, job, fmt.Sprintf("fig6-%s-%s-p%d", wl.Name, system, workers))
 	case "mlless+isp":
 		job.Spec.Sync = consistency.ISP
 		job.Spec.Significance = wl.V
-		res, err = core.Run(cl, job)
+		res, err = runJob(opts, cl, job, fmt.Sprintf("fig6-%s-%s-p%d", wl.Name, system, workers))
 	case "mlless+all":
 		job.Spec.Sync = consistency.ISP
 		job.Spec.Significance = wl.V
@@ -68,7 +69,7 @@ func runSystem(wl *Workload, system string, workers int, quick bool) (*core.Resu
 		if quick {
 			job.Spec.Sched = sched.Config{Epoch: 2 * time.Second}
 		}
-		res, err = core.Run(cl, job)
+		res, err = runJob(opts, cl, job, fmt.Sprintf("fig6-%s-%s-p%d", wl.Name, system, workers))
 	default:
 		return nil, fmt.Errorf("experiments: unknown system %q", system)
 	}
@@ -113,7 +114,7 @@ func Fig6(opts Options) (Table, error) {
 	for _, wl := range workloads {
 		var pytorchPrudent time.Duration
 		for _, system := range systemNames {
-			res, err := runSystem(wl, system, workers, opts.Quick)
+			res, err := runSystem(opts, wl, system, workers)
 			if err != nil {
 				return Table{}, fmt.Errorf("fig6 (%s/%s): %w", wl.Name, system, err)
 			}
@@ -153,7 +154,7 @@ func Fig6Series(opts Options, wl *Workload, n int) (Table, error) {
 	results := make(map[string]*core.Result, len(systemNames))
 	var longest time.Duration
 	for _, system := range systemNames {
-		res, err := runSystem(wl, system, workers, opts.Quick)
+		res, err := runSystem(opts, wl, system, workers)
 		if err != nil {
 			return Table{}, fmt.Errorf("fig6 series (%s/%s): %w", wl.Name, system, err)
 		}

@@ -29,7 +29,7 @@ func Fig7(opts Options) (Table, error) {
 		},
 	}
 	for _, wl := range workloads {
-		pytorch, err := runSystem(wl, "pytorch", workers, opts.Quick)
+		pytorch, err := runSystem(opts, wl, "pytorch", workers)
 		if err != nil {
 			return Table{}, fmt.Errorf("fig7 (%s): %w", wl.Name, err)
 		}
@@ -40,7 +40,7 @@ func Fig7(opts Options) (Table, error) {
 		for _, frac := range fractions {
 			budget := pytorchCost * frac
 			for _, system := range systemNames {
-				res, err := runSystem(wl, system, workers, opts.Quick)
+				res, err := runSystem(opts, wl, system, workers)
 				if err != nil {
 					return Table{}, fmt.Errorf("fig7 (%s/%s): %w", wl.Name, system, err)
 				}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"mlless/internal/core"
 	"mlless/internal/cost"
 )
 
@@ -77,7 +76,7 @@ func Table3(opts Options) (Table, error) {
 	}
 	for _, cfgRow := range configs {
 		cl, job := makeWithBatch(wl, cfgRow.p, cfgRow.b)
-		res, err := core.Run(cl, job)
+		res, err := runJob(opts, cl, job, fmt.Sprintf("table3-p%d-b%d", cfgRow.p, cfgRow.b))
 		if err != nil {
 			return Table{}, fmt.Errorf("table3 (P=%d): %w", cfgRow.p, err)
 		}

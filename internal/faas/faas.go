@@ -26,6 +26,7 @@ import (
 
 	"mlless/internal/cost"
 	"mlless/internal/faults"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -98,13 +99,17 @@ type Metrics struct {
 type Platform struct {
 	cfg    Config
 	faults *faults.Injector
+	tracer *trace.Tracer
 
 	mu       sync.Mutex
 	nextID   int
 	running  map[int]*Instance
 	billed   []billedRun
 	warmPool int
-	metrics  Metrics
+
+	reg *trace.Registry
+	// Counters live in the unified registry under "faas.*".
+	cInvocations, cColdStarts, cWarmStarts, cTerminated, cFailedInvocations, cReclaimed *trace.Counter
 }
 
 type billedRun struct {
@@ -117,9 +122,39 @@ type billedRun struct {
 	claimed bool
 }
 
-// NewPlatform returns a platform with the given configuration.
+// NewPlatform returns a platform with the given configuration and a
+// private metrics registry.
 func NewPlatform(cfg Config) *Platform {
-	return &Platform{cfg: cfg, running: make(map[int]*Instance)}
+	return NewPlatformWithRegistry(cfg, trace.NewRegistry())
+}
+
+// NewPlatformWithRegistry returns a platform whose counters live in the
+// given unified registry under "faas.*".
+func NewPlatformWithRegistry(cfg Config, reg *trace.Registry) *Platform {
+	return &Platform{
+		cfg:                cfg,
+		running:            make(map[int]*Instance),
+		reg:                reg,
+		cInvocations:       reg.Counter("faas.invocations"),
+		cColdStarts:        reg.Counter("faas.cold_starts"),
+		cWarmStarts:        reg.Counter("faas.warm_starts"),
+		cTerminated:        reg.Counter("faas.terminated"),
+		cFailedInvocations: reg.Counter("faas.failed_invocations"),
+		cReclaimed:         reg.Counter("faas.reclaimed"),
+	}
+}
+
+// Registry returns the metrics registry the platform's counters live in.
+func (p *Platform) Registry() *trace.Registry { return p.reg }
+
+// SetTracer installs (or, with nil, removes) a tracer. The platform
+// emits lifecycle instants — "terminate" and "reclaim", annotated with
+// the billed seconds and dollars — on the dying instance's track. Same
+// concurrency contract as SetFaults.
+func (p *Platform) SetTracer(tr *trace.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = tr
 }
 
 // SetFaults installs (or, with nil, removes) a fault injector. Callers
@@ -149,6 +184,9 @@ type Instance struct {
 	// charged to the Clock past ReclaimAt is void: the engine detects the
 	// death at its next checkpointable boundary and re-launches.
 	ReclaimAt time.Duration
+	// Cold reports whether this invocation paid the cold-start latency
+	// (no warm container, or the warm pool was bypassed).
+	Cold bool
 
 	startAt    time.Duration
 	terminated bool
@@ -183,7 +221,7 @@ func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCol
 	defer p.mu.Unlock()
 
 	if p.faults.InvokeFails(name, at) {
-		p.metrics.FailedInvocations++
+		p.cFailedInvocations.Inc()
 		return nil, fmt.Errorf("invoke %s at %v: %w", name, at, faults.ErrInjected)
 	}
 	if p.cfg.MaxConcurrent > 0 && len(p.running) >= p.cfg.MaxConcurrent {
@@ -191,21 +229,24 @@ func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCol
 	}
 
 	start := p.cfg.ColdStart
+	cold := true
 	if !forceCold && p.warmPool > 0 {
 		p.warmPool--
 		start = p.cfg.WarmStart
-		p.metrics.WarmStarts++
+		cold = false
+		p.cWarmStarts.Inc()
 	} else {
 		// Cold path: stragglers stretch the boot latency.
 		start = time.Duration(float64(start) * p.faults.ColdStartFactor(name, at))
-		p.metrics.ColdStarts++
+		p.cColdStarts.Inc()
 	}
-	p.metrics.Invocations++
+	p.cInvocations.Inc()
 
 	inst := &Instance{
 		ID:        p.nextID,
 		Name:      name,
 		MemoryMiB: memoryMiB,
+		Cold:      cold,
 		startAt:   at,
 	}
 	if life := p.faults.ReclaimAfter(name, at); life > 0 {
@@ -251,9 +292,9 @@ func (p *Platform) end(inst *Instance, m *cost.Meter, warm bool) error {
 	if warm {
 		p.warmPool++
 	} else {
-		p.metrics.Reclaimed++
+		p.cReclaimed.Inc()
 	}
-	p.metrics.Terminated++
+	p.cTerminated.Inc()
 
 	d := inst.Elapsed()
 	if !warm && inst.ReclaimAt > 0 {
@@ -271,6 +312,16 @@ func (p *Platform) end(inst *Instance, m *cost.Meter, warm bool) error {
 	if m != nil {
 		m.AddFunction(inst.Name, d, memGiB)
 	}
+	if p.tracer.Enabled() {
+		name := "terminate"
+		if !warm {
+			name = "reclaim"
+		}
+		p.tracer.InstantAt(&inst.Clock, trace.CatFaaS, name, inst.startAt+d,
+			trace.Str("fn", inst.Name),
+			trace.Secs("billed_s", d),
+			trace.Float("usd", cost.FunctionCost(d, memGiB)))
+	}
 	return nil
 }
 
@@ -282,10 +333,19 @@ func (p *Platform) Running() int {
 }
 
 // Metrics returns a snapshot of the platform counters.
+//
+// Deprecated: the counters live in the unified trace.Registry the
+// platform was built with (see Registry), under "faas.*" names; this
+// method is a compatibility view over them.
 func (p *Platform) Metrics() Metrics {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.metrics
+	return Metrics{
+		Invocations:       p.cInvocations.Load(),
+		ColdStarts:        p.cColdStarts.Load(),
+		WarmStarts:        p.cWarmStarts.Load(),
+		Terminated:        p.cTerminated.Load(),
+		FailedInvocations: p.cFailedInvocations.Load(),
+		Reclaimed:         p.cReclaimed.Load(),
+	}
 }
 
 // Config returns the platform configuration.

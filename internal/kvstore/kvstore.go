@@ -18,6 +18,7 @@ import (
 
 	"mlless/internal/faults"
 	"mlless/internal/netmodel"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -35,16 +36,41 @@ type Metrics struct {
 type Store struct {
 	link netmodel.Link
 
-	mu      sync.Mutex
-	data    map[string][]byte
-	faults  *faults.Injector
-	metrics Metrics
+	mu     sync.Mutex
+	data   map[string][]byte
+	faults *faults.Injector
+	tracer *trace.Tracer
+
+	reg *trace.Registry
+	// Counters live in the unified registry under "kv.*"; updates are
+	// lock-free atomic adds.
+	cGets, cSets, cDeletes, cMisses, cBytesRead, cBytesWritten *trace.Counter
 }
 
-// New returns an empty store reached through link.
+// New returns an empty store reached through link, with a private
+// metrics registry.
 func New(link netmodel.Link) *Store {
-	return &Store{link: link, data: make(map[string][]byte)}
+	return NewWithRegistry(link, trace.NewRegistry())
 }
+
+// NewWithRegistry returns an empty store whose counters live in the
+// given unified registry under "kv.*".
+func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Store {
+	return &Store{
+		link:          link,
+		data:          make(map[string][]byte),
+		reg:           reg,
+		cGets:         reg.Counter("kv.gets"),
+		cSets:         reg.Counter("kv.sets"),
+		cDeletes:      reg.Counter("kv.deletes"),
+		cMisses:       reg.Counter("kv.misses"),
+		cBytesRead:    reg.Counter("kv.bytes_read"),
+		cBytesWritten: reg.Counter("kv.bytes_written"),
+	}
+}
+
+// Registry returns the metrics registry the store's counters live in.
+func (s *Store) Registry() *trace.Registry { return s.reg }
 
 // SetFaults installs (or, with nil, removes) a fault injector that adds
 // per-operation failures (client-retried, costing time) and latency
@@ -54,6 +80,16 @@ func (s *Store) SetFaults(in *faults.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.faults = in
+}
+
+// SetTracer installs (or, with nil, removes) a tracer that records one
+// span per operation on the calling clock's track, including any
+// injected fault delay (the "fault_x" arg carries the observed charge
+// multiplier). Same concurrency contract as SetFaults.
+func (s *Store) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
 }
 
 // chargeFaults advances clk by any injected penalty for an operation
@@ -68,47 +104,71 @@ func (s *Store) chargeFaults(clk *vclock.Clock, op, key string, base time.Durati
 	clk.Advance(s.faults.KVDelay(op, key, clk.Now(), base))
 }
 
+// traceOp records one operation span from start to clk.Now(). When the
+// total charge exceeds the nominal base (injected retries or a latency
+// spike), the multiplier is recorded so the spike × nominal relation is
+// visible on the timeline.
+func (s *Store) traceOp(clk *vclock.Clock, op, key string, start time.Duration, bytes int, base time.Duration) {
+	actual := clk.Now() - start
+	if actual > base && base > 0 {
+		s.tracer.SpanAt(clk, trace.CatKV, op, start,
+			trace.Str("key", key), trace.Int("bytes", bytes),
+			trace.Float("fault_x", float64(actual)/float64(base)))
+		return
+	}
+	s.tracer.SpanAt(clk, trace.CatKV, op, start,
+		trace.Str("key", key), trace.Int("bytes", bytes))
+}
+
 // Set stores a copy of val under key and charges the transfer to clk.
 func (s *Store) Set(clk *vclock.Clock, key string, val []byte) {
+	start := clk.Now()
 	base := s.link.TransferTime(len(val))
 	clk.Advance(base)
 	s.chargeFaults(clk, "set", key, base)
+	if s.tracer.Enabled() {
+		s.traceOp(clk, "set", key, start, len(val), base)
+	}
 	cp := make([]byte, len(val))
 	copy(cp, val)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.data[key] = cp
-	s.metrics.Sets++
-	s.metrics.BytesWritten += int64(len(val))
+	s.cSets.Inc()
+	s.cBytesWritten.Add(int64(len(val)))
 }
 
 // Get returns a copy of the value under key. The round trip is charged
 // to clk whether or not the key exists.
 func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
+	start := clk.Now()
 	s.mu.Lock()
 	val, ok := s.data[key]
-	s.metrics.Gets++
-	if !ok {
-		s.metrics.Misses++
-	} else {
-		s.metrics.BytesRead += int64(len(val))
-	}
 	var cp []byte
 	if ok {
 		cp = make([]byte, len(val))
 		copy(cp, val)
 	}
 	s.mu.Unlock()
+	s.cGets.Inc()
 
 	if !ok {
+		s.cMisses.Inc()
 		clk.Advance(s.link.RTT())
 		s.chargeFaults(clk, "get", key, s.link.RTT())
+		if s.tracer.Enabled() {
+			s.traceOp(clk, "get", key, start, 0, s.link.RTT())
+		}
 		return nil, false
 	}
+	s.cBytesRead.Add(int64(len(cp)))
 	base := s.link.TransferTime(len(cp))
 	clk.Advance(base)
 	s.chargeFaults(clk, "get", key, base)
+	if s.tracer.Enabled() {
+		s.traceOp(clk, "get", key, start, len(cp), base)
+	}
 	return cp, true
 }
 
@@ -116,28 +176,32 @@ func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
 // latency plus the bandwidth cost of all returned values. Missing keys
 // yield nil entries.
 func (s *Store) MGet(clk *vclock.Clock, keys []string) [][]byte {
+	start := clk.Now()
 	out := make([][]byte, len(keys))
 	total := 0
 
 	s.mu.Lock()
 	for i, key := range keys {
 		val, ok := s.data[key]
-		s.metrics.Gets++
+		s.cGets.Inc()
 		if !ok {
-			s.metrics.Misses++
+			s.cMisses.Inc()
 			continue
 		}
 		cp := make([]byte, len(val))
 		copy(cp, val)
 		out[i] = cp
 		total += len(val)
-		s.metrics.BytesRead += int64(len(val))
+		s.cBytesRead.Add(int64(len(val)))
 	}
 	s.mu.Unlock()
 
 	base := s.link.TransferTime(total)
 	clk.Advance(base)
 	s.chargeFaults(clk, "mget", firstKey(keys), base)
+	if s.tracer.Enabled() {
+		s.traceOp(clk, "mget", firstKey(keys), start, total, base)
+	}
 	return out
 }
 
@@ -157,38 +221,46 @@ func firstKey(keys []string) string {
 // the hot path for applying peer updates, which are read once and
 // discarded.
 func (s *Store) MGetView(clk *vclock.Clock, keys []string) [][]byte {
+	start := clk.Now()
 	out := make([][]byte, len(keys))
 	total := 0
 
 	s.mu.Lock()
 	for i, key := range keys {
 		val, ok := s.data[key]
-		s.metrics.Gets++
+		s.cGets.Inc()
 		if !ok {
-			s.metrics.Misses++
+			s.cMisses.Inc()
 			continue
 		}
 		out[i] = val
 		total += len(val)
-		s.metrics.BytesRead += int64(len(val))
+		s.cBytesRead.Add(int64(len(val)))
 	}
 	s.mu.Unlock()
 
 	base := s.link.TransferTime(total)
 	clk.Advance(base)
 	s.chargeFaults(clk, "mget", firstKey(keys), base)
+	if s.tracer.Enabled() {
+		s.traceOp(clk, "mget", firstKey(keys), start, total, base)
+	}
 	return out
 }
 
 // Delete removes key, charging one round trip.
 func (s *Store) Delete(clk *vclock.Clock, key string) {
+	start := clk.Now()
 	clk.Advance(s.link.RTT())
 	s.chargeFaults(clk, "del", key, s.link.RTT())
+	if s.tracer.Enabled() {
+		s.traceOp(clk, "del", key, start, 0, s.link.RTT())
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, key)
-	s.metrics.Deletes++
+	s.cDeletes.Inc()
 }
 
 // Keys returns the sorted keys with the given prefix. It charges one
@@ -218,10 +290,19 @@ func (s *Store) Len() int {
 }
 
 // Metrics returns a snapshot of the traffic counters.
+//
+// Deprecated: the counters live in the unified trace.Registry the store
+// was built with (see Registry), under "kv.*" names; this method is a
+// compatibility view over them.
 func (s *Store) Metrics() Metrics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.metrics
+	return Metrics{
+		Gets:         s.cGets.Load(),
+		Sets:         s.cSets.Load(),
+		Deletes:      s.cDeletes.Load(),
+		Misses:       s.cMisses.Load(),
+		BytesRead:    s.cBytesRead.Load(),
+		BytesWritten: s.cBytesWritten.Load(),
+	}
 }
 
 // Flush removes all keys (job teardown between experiment runs).

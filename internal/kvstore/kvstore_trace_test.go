@@ -1,0 +1,107 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"mlless/internal/faults"
+	"mlless/internal/netmodel"
+	"mlless/internal/trace"
+	"mlless/internal/vclock"
+)
+
+// spikeLink has round numbers so charges are exact: 1 ms latency,
+// 1 MB/s bandwidth ⇒ 1000 bytes transfer in 1 ms + 1 ms = 2 ms.
+func spikeLink() netmodel.Link {
+	return netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+}
+
+func TestTracedLatencySpikeIsOneSpanWithMultiplier(t *testing.T) {
+	// A latency spike must not fragment the operation: the trace shows
+	// one span covering spike × nominal, with the multiplier recorded as
+	// the fault_x arg — the §5 "what did the substrate cost me" view.
+	s := New(spikeLink())
+	s.SetFaults(faults.New(faults.Spec{
+		Seed: 7, KVSlowProb: 1, KVSlowFactor: 10, // every op spikes 10×
+	}))
+	tr := trace.New()
+	s.SetTracer(tr)
+	var clk vclock.Clock
+	tr.RegisterClock(&clk, "worker-0")
+
+	payload := make([]byte, 1000)
+	base := spikeLink().TransferTime(len(payload)) // 2 ms nominal
+	start := clk.Now()
+	s.Set(&clk, "model/0", payload)
+
+	if got, want := clk.Now()-start, 10*base; got != want {
+		t.Fatalf("charged %v, want spike × nominal = %v", got, want)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("spike fragmented into %d spans", len(evs))
+	}
+	ev := evs[0]
+	if ev.Cat != trace.CatKV || ev.Name != "set" || ev.Dur != 10*base {
+		t.Fatalf("span: %+v", ev)
+	}
+	x, ok := ev.ArgFloat("fault_x")
+	if !ok || x != 10 {
+		t.Fatalf("fault_x = %v (present=%v), want 10", x, ok)
+	}
+	if n, _ := ev.ArgInt("bytes"); n != 1000 {
+		t.Fatalf("bytes arg = %d", n)
+	}
+}
+
+func TestTracedCleanOpOmitsMultiplier(t *testing.T) {
+	s := New(spikeLink())
+	tr := trace.New()
+	s.SetTracer(tr)
+	var clk vclock.Clock
+	tr.RegisterClock(&clk, "worker-0")
+
+	s.Set(&clk, "model/0", make([]byte, 1000))
+	ev := tr.Events()[0]
+	if _, ok := ev.ArgFloat("fault_x"); ok {
+		t.Fatalf("clean op carries fault_x: %+v", ev)
+	}
+	if ev.Dur != spikeLink().TransferTime(1000) {
+		t.Fatalf("clean span dur %v != nominal", ev.Dur)
+	}
+}
+
+func TestTracedRetriesFoldIntoOneSpan(t *testing.T) {
+	// Injected failures are retried client-side; the trace must show the
+	// whole retry storm as a single span whose fault_x reflects the
+	// penalty + re-execution charges.
+	s := New(spikeLink())
+	s.SetFaults(faults.New(faults.Spec{
+		Seed: 11, KVFailProb: 0.5, KVRetryPenalty: time.Millisecond,
+	}))
+	tr := trace.New()
+	s.SetTracer(tr)
+	var clk vclock.Clock
+	tr.RegisterClock(&clk, "worker-0")
+
+	// Enough operations that some draw at least one failure.
+	var spiked int
+	for i := 0; i < 64; i++ {
+		s.Set(&clk, "k", make([]byte, 100))
+	}
+	evs := tr.Events()
+	if len(evs) != 64 {
+		t.Fatalf("%d spans for 64 ops", len(evs))
+	}
+	for _, ev := range evs {
+		if x, ok := ev.ArgFloat("fault_x"); ok {
+			spiked++
+			if x <= 1 {
+				t.Fatalf("fault_x %v not a stretch multiplier", x)
+			}
+		}
+	}
+	if spiked == 0 {
+		t.Fatal("no retried op surfaced a multiplier at KVFailProb 0.5")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"mlless/internal/faults"
 	"mlless/internal/netmodel"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -37,20 +38,63 @@ type Metrics struct {
 type Broker struct {
 	link   netmodel.Link
 	faults *faults.Injector
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	queues    map[string][][]byte
 	exchanges map[string]map[string]bool // exchange -> bound queues
-	metrics   Metrics
+
+	reg *trace.Registry
+	// Counters live in the unified registry under "mq.*".
+	cPublished, cConsumed, cBytesPublished *trace.Counter
 }
 
-// New returns an empty broker reached through link.
+// New returns an empty broker reached through link, with a private
+// metrics registry.
 func New(link netmodel.Link) *Broker {
+	return NewWithRegistry(link, trace.NewRegistry())
+}
+
+// NewWithRegistry returns an empty broker whose counters live in the
+// given unified registry under "mq.*".
+func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Broker {
 	return &Broker{
-		link:      link,
-		queues:    make(map[string][][]byte),
-		exchanges: make(map[string]map[string]bool),
+		link:            link,
+		queues:          make(map[string][][]byte),
+		exchanges:       make(map[string]map[string]bool),
+		reg:             reg,
+		cPublished:      reg.Counter("mq.published"),
+		cConsumed:       reg.Counter("mq.consumed"),
+		cBytesPublished: reg.Counter("mq.bytes_published"),
 	}
+}
+
+// Registry returns the metrics registry the broker's counters live in.
+func (b *Broker) Registry() *trace.Registry { return b.reg }
+
+// SetTracer installs (or, with nil, removes) a tracer recording one
+// span per operation on the calling clock's track, with any injected
+// fault delay recorded as a "fault_x" charge multiplier. Same
+// concurrency contract as SetFaults.
+func (b *Broker) SetTracer(tr *trace.Tracer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = tr
+}
+
+// traceOp records one operation span from start to clk.Now(),
+// annotating the observed charge multiplier when faults stretched it
+// past the nominal base.
+func (b *Broker) traceOp(clk *vclock.Clock, op, queue string, start time.Duration, bytes int, base time.Duration) {
+	actual := clk.Now() - start
+	if actual > base && base > 0 {
+		b.tracer.SpanAt(clk, trace.CatMQ, op, start,
+			trace.Str("queue", queue), trace.Int("bytes", bytes),
+			trace.Float("fault_x", float64(actual)/float64(base)))
+		return
+	}
+	b.tracer.SpanAt(clk, trace.CatMQ, op, start,
+		trace.Str("queue", queue), trace.Int("bytes", bytes))
 }
 
 // SetFaults installs (or, with nil, removes) a fault injector that adds
@@ -126,9 +170,13 @@ func (b *Broker) Unbind(exchange, queue string) {
 
 // Publish appends a copy of msg to queue, charging one transfer to clk.
 func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
+	start := clk.Now()
 	base := b.link.TransferTime(len(msg))
 	clk.Advance(base)
 	b.chargeFaults(clk, "publish", queue, base)
+	if b.tracer.Enabled() {
+		b.traceOp(clk, "publish", queue, start, len(msg), base)
+	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 
@@ -138,8 +186,8 @@ func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
 		return fmt.Errorf("publish to %s: %w", queue, ErrNoQueue)
 	}
 	b.queues[queue] = append(b.queues[queue], cp)
-	b.metrics.Published++
-	b.metrics.BytesPublished += int64(len(msg))
+	b.cPublished.Inc()
+	b.cBytesPublished.Add(int64(len(msg)))
 	return nil
 }
 
@@ -147,9 +195,13 @@ func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
 // A single transfer is charged: the broker VM, not the publisher,
 // performs the replication.
 func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) error {
+	start := clk.Now()
 	base := b.link.TransferTime(len(msg))
 	clk.Advance(base)
 	b.chargeFaults(clk, "fanout", exchange, base)
+	if b.tracer.Enabled() {
+		b.traceOp(clk, "fanout", exchange, start, len(msg), base)
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -161,8 +213,8 @@ func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) e
 		cp := make([]byte, len(msg))
 		copy(cp, msg)
 		b.queues[q] = append(b.queues[q], cp)
-		b.metrics.Published++
-		b.metrics.BytesPublished += int64(len(msg))
+		b.cPublished.Inc()
+		b.cBytesPublished.Add(int64(len(msg)))
 	}
 	return nil
 }
@@ -170,6 +222,7 @@ func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) e
 // Consume pops the oldest message from queue. It returns false when the
 // queue is empty or undeclared. One round trip is charged either way.
 func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
+	start := clk.Now()
 	b.mu.Lock()
 	msgs := b.queues[queue]
 	var msg []byte
@@ -177,23 +230,27 @@ func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
 	if ok {
 		msg = msgs[0]
 		b.queues[queue] = msgs[1:]
-		b.metrics.Consumed++
+		b.cConsumed.Inc()
 	}
 	b.mu.Unlock()
 
 	base := b.link.TransferTime(len(msg))
 	clk.Advance(base)
 	b.chargeFaults(clk, "consume", queue, base)
+	if b.tracer.Enabled() {
+		b.traceOp(clk, "consume", queue, start, len(msg), base)
+	}
 	return msg, ok
 }
 
 // ConsumeAll drains queue, charging a single round trip plus the
 // bandwidth of everything returned (a batched basic.get).
 func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
+	start := clk.Now()
 	b.mu.Lock()
 	msgs := b.queues[queue]
 	b.queues[queue] = nil
-	b.metrics.Consumed += int64(len(msgs))
+	b.cConsumed.Add(int64(len(msgs)))
 	b.mu.Unlock()
 
 	total := 0
@@ -203,6 +260,9 @@ func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
 	base := b.link.TransferTime(total)
 	clk.Advance(base)
 	b.chargeFaults(clk, "consume-all", queue, base)
+	if b.tracer.Enabled() {
+		b.traceOp(clk, "consume-all", queue, start, total, base)
+	}
 	return msgs
 }
 
@@ -214,8 +274,14 @@ func (b *Broker) Len(queue string) int {
 }
 
 // Metrics returns a snapshot of the traffic counters.
+//
+// Deprecated: the counters live in the unified trace.Registry the
+// broker was built with (see Registry), under "mq.*" names; this method
+// is a compatibility view over them.
 func (b *Broker) Metrics() Metrics {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.metrics
+	return Metrics{
+		Published:      b.cPublished.Load(),
+		Consumed:       b.cConsumed.Load(),
+		BytesPublished: b.cBytesPublished.Load(),
+	}
 }

@@ -1,0 +1,48 @@
+package msgqueue
+
+import (
+	"testing"
+	"time"
+
+	"mlless/internal/faults"
+	"mlless/internal/netmodel"
+	"mlless/internal/trace"
+	"mlless/internal/vclock"
+)
+
+func TestTracedBrokerSpikeIsOneSpanWithMultiplier(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	b := New(link)
+	b.SetFaults(faults.New(faults.Spec{
+		Seed: 5, MQSlowProb: 1, MQSlowFactor: 4,
+	}))
+	tr := trace.New()
+	b.SetTracer(tr)
+	var clk vclock.Clock
+	tr.RegisterClock(&clk, "worker-1")
+	b.DeclareQueue("loss")
+
+	msg := make([]byte, 2000)
+	base := link.TransferTime(len(msg)) // 1 ms + 2 ms = 3 ms nominal
+	if err := b.Publish(&clk, "loss", msg); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("spike fragmented into %d spans", len(evs))
+	}
+	ev := evs[0]
+	if ev.Cat != trace.CatMQ || ev.Name != "publish" || ev.Dur != 4*base {
+		t.Fatalf("span: %+v (nominal %v)", ev, base)
+	}
+	if x, ok := ev.ArgFloat("fault_x"); !ok || x != 4 {
+		t.Fatalf("fault_x = %v (present=%v), want 4", x, ok)
+	}
+	if q, _ := ev.ArgStr("queue"); q != "loss" {
+		t.Fatalf("queue arg = %q", q)
+	}
+	if clk.Now() != 4*base {
+		t.Fatalf("clock charged %v, want %v", clk.Now(), 4*base)
+	}
+}

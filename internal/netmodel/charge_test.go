@@ -1,0 +1,52 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeArithmetic(t *testing.T) {
+	// The charge model every substrate span is built on: one request
+	// latency plus payload / bandwidth. Exact on round numbers.
+	l := Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	cases := []struct {
+		bytes int
+		want  time.Duration
+	}{
+		{0, time.Millisecond},
+		{1000, 2 * time.Millisecond},   // 1 ms + 1 ms
+		{500, 1500 * time.Microsecond}, // 1 ms + 0.5 ms
+		{10000, 11 * time.Millisecond}, // 1 ms + 10 ms
+		{-5, time.Millisecond},         // negative payloads charge latency only
+	}
+	for _, c := range cases {
+		if got := l.TransferTime(c.bytes); got != c.want {
+			t.Errorf("TransferTime(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+	if l.RTT() != l.Latency {
+		t.Errorf("RTT = %v, want latency %v", l.RTT(), l.Latency)
+	}
+}
+
+func TestZeroBandwidthChargesLatencyOnly(t *testing.T) {
+	// A link without a bandwidth figure (pure-latency model) must not
+	// divide by zero and charges the request latency regardless of size.
+	l := Link{Latency: 2 * time.Millisecond}
+	if got := l.TransferTime(1 << 20); got != 2*time.Millisecond {
+		t.Fatalf("TransferTime = %v", got)
+	}
+}
+
+func TestSpikeMultiplierScalesNominalCharge(t *testing.T) {
+	// The fault layer stretches an operation to factor × nominal; the
+	// relation must hold exactly for the link's own arithmetic so traced
+	// fault_x values are interpretable as charge multipliers.
+	l := RedisLink()
+	base := l.TransferTime(4096)
+	const factor = 10
+	spiked := base + time.Duration(float64(base)*(factor-1))
+	if want := factor * base; spiked != want {
+		t.Fatalf("spiked charge %v != %d × nominal %v", spiked, factor, base)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"mlless/internal/netmodel"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -37,17 +38,56 @@ type Store struct {
 
 	mu      sync.Mutex
 	buckets map[string]map[string][]byte
-	metrics Metrics
+	tracer  *trace.Tracer
+
+	reg *trace.Registry
+	// Counters live in the unified registry under "obj.*".
+	cPuts, cGets, cDeletes, cLists, cBytesRead, cBytesWritten *trace.Counter
 }
 
-// New returns an empty store reached through link.
+// New returns an empty store reached through link, with a private
+// metrics registry.
 func New(link netmodel.Link) *Store {
-	return &Store{link: link, buckets: make(map[string]map[string][]byte)}
+	return NewWithRegistry(link, trace.NewRegistry())
+}
+
+// NewWithRegistry returns an empty store whose counters live in the
+// given unified registry under "obj.*".
+func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Store {
+	return &Store{
+		link:          link,
+		buckets:       make(map[string]map[string][]byte),
+		reg:           reg,
+		cPuts:         reg.Counter("obj.puts"),
+		cGets:         reg.Counter("obj.gets"),
+		cDeletes:      reg.Counter("obj.deletes"),
+		cLists:        reg.Counter("obj.lists"),
+		cBytesRead:    reg.Counter("obj.bytes_read"),
+		cBytesWritten: reg.Counter("obj.bytes_written"),
+	}
+}
+
+// Registry returns the metrics registry the store's counters live in.
+func (s *Store) Registry() *trace.Registry { return s.reg }
+
+// SetTracer installs (or, with nil, removes) a tracer recording one
+// span per operation on the calling clock's track. Do not call
+// concurrently with operations; the engine installs it during job setup
+// and removes it at teardown.
+func (s *Store) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
 }
 
 // Put stores a copy of val as bucket/key, creating the bucket on demand.
 func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
+	start := clk.Now()
 	clk.Advance(s.link.TransferTime(len(val)))
+	if s.tracer.Enabled() {
+		s.tracer.SpanAt(clk, trace.CatObj, "put", start,
+			trace.Str("key", bucket+"/"+key), trace.Int("bytes", len(val)))
+	}
 	cp := make([]byte, len(val))
 	copy(cp, val)
 
@@ -59,28 +99,33 @@ func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
 		s.buckets[bucket] = b
 	}
 	b[key] = cp
-	s.metrics.Puts++
-	s.metrics.BytesWritten += int64(len(val))
+	s.cPuts.Inc()
+	s.cBytesWritten.Add(int64(len(val)))
 }
 
 // Get returns a copy of the object at bucket/key.
 func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
+	start := clk.Now()
 	s.mu.Lock()
 	var cp []byte
 	val, ok := s.buckets[bucket][key]
-	s.metrics.Gets++
 	if ok {
 		cp = make([]byte, len(val))
 		copy(cp, val)
-		s.metrics.BytesRead += int64(len(val))
 	}
 	s.mu.Unlock()
+	s.cGets.Inc()
 
 	if !ok {
 		clk.Advance(s.link.RTT())
 		return nil, fmt.Errorf("get %s/%s: %w", bucket, key, ErrNotFound)
 	}
+	s.cBytesRead.Add(int64(len(cp)))
 	clk.Advance(s.link.TransferTime(len(cp)))
+	if s.tracer.Enabled() {
+		s.tracer.SpanAt(clk, trace.CatObj, "get", start,
+			trace.Str("key", bucket+"/"+key), trace.Int("bytes", len(cp)))
+	}
 	return cp, nil
 }
 
@@ -106,7 +151,7 @@ func (s *Store) Delete(clk *vclock.Clock, bucket, key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.buckets[bucket], key)
-	s.metrics.Deletes++
+	s.cDeletes.Inc()
 }
 
 // List returns the sorted keys in bucket with the given prefix.
@@ -115,7 +160,7 @@ func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.metrics.Lists++
+	s.cLists.Inc()
 	var out []string
 	for k := range s.buckets[bucket] {
 		if strings.HasPrefix(k, prefix) {
@@ -127,10 +172,19 @@ func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
 }
 
 // Metrics returns a snapshot of the traffic counters.
+//
+// Deprecated: the counters live in the unified trace.Registry the store
+// was built with (see Registry), under "obj.*" names; this method is a
+// compatibility view over them.
 func (s *Store) Metrics() Metrics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.metrics
+	return Metrics{
+		Puts:         s.cPuts.Load(),
+		Gets:         s.cGets.Load(),
+		Deletes:      s.cDeletes.Load(),
+		Lists:        s.cLists.Load(),
+		BytesRead:    s.cBytesRead.Load(),
+		BytesWritten: s.cBytesWritten.Load(),
+	}
 }
 
 // DeleteBucket drops a whole bucket (experiment teardown).

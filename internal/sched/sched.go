@@ -39,6 +39,7 @@ import (
 
 	"mlless/internal/fit"
 	"mlless/internal/knee"
+	"mlless/internal/trace"
 )
 
 // Config tunes the auto-tuner. Zero values select the paper's settings.
@@ -105,7 +106,9 @@ type Decision struct {
 // Tuner is the scale-in scheduler. Not safe for concurrent use: the
 // supervisor owns it.
 type Tuner struct {
-	cfg Config
+	cfg    Config
+	tracer *trace.Tracer
+	track  string
 
 	smoother *fit.EWMA
 	losses   []float64 // smoothed loss per step (index = step-1)
@@ -134,6 +137,14 @@ func New(cfg Config) *Tuner {
 
 // Config returns the effective (defaulted) configuration.
 func (t *Tuner) Config() Config { return t.cfg }
+
+// SetTracer installs a tracer; every epoch decision is then recorded as
+// an instant named after its Reason on the given track (the supervisor
+// runs the tuner).
+func (t *Tuner) SetTracer(tr *trace.Tracer, track string) {
+	t.tracer = tr
+	t.track = track
+}
 
 // Observe records the global loss and duration of step (1-based). It
 // returns the smoothed loss.
@@ -187,6 +198,10 @@ func (t *Tuner) Decide(now time.Duration, step, workers int) Decision {
 
 	d := t.decide(step, workers)
 	t.decisions = append(t.decisions, d)
+	if t.tracer.Enabled() {
+		t.tracer.InstantOn(t.track, trace.CatSched, d.Reason, now,
+			trace.Int("step", d.Step), trace.Float("s_delta", d.SDelta))
+	}
 	return d
 }
 

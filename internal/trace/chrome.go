@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteChrome renders events (as returned by Tracer.Events) in the
+// Chrome trace-event JSON format, loadable in Perfetto or
+// chrome://tracing. The job is one process; every track becomes a
+// thread, with the supervisor first and workers in numeric order, so a
+// faulted auto-tuner run reads top-to-bottom: straggler cold starts,
+// reclaim→recover sequences and scale-in evictions all on one
+// timeline. Timestamps are virtual microseconds; billed dollars appear
+// as "usd" args on the terminate/reclaim events.
+//
+// The output is deterministic: given equal event slices it is
+// byte-identical, and Tracer.Events orders events by content, so equal
+// seeds produce equal files (see DESIGN.md §7).
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	tids := trackIDs(events)
+
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	comma()
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"mlless"}}`)
+	tracks := make([]string, 0, len(tids))
+	for track := range tids {
+		tracks = append(tracks, track)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tids[tracks[i]] < tids[tracks[j]] })
+	for _, track := range tracks {
+		tid := strconv.Itoa(tids[track])
+		comma()
+		bw.WriteString(`{"ph":"M","pid":1,"tid":` + tid + `,"name":"thread_name","args":{"name":` + strconv.Quote(track) + `}}`)
+		comma()
+		bw.WriteString(`{"ph":"M","pid":1,"tid":` + tid + `,"name":"thread_sort_index","args":{"sort_index":` + tid + `}}`)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		comma()
+		bw.WriteString(`{"name":` + strconv.Quote(ev.Name))
+		bw.WriteString(`,"cat":` + strconv.Quote(ev.Cat))
+		bw.WriteString(`,"ph":"` + string(ev.Phase) + `"`)
+		bw.WriteString(`,"ts":` + micros(ev.Start))
+		if ev.Phase == 'X' {
+			bw.WriteString(`,"dur":` + micros(ev.Dur))
+		} else {
+			bw.WriteString(`,"s":"t"`)
+		}
+		bw.WriteString(`,"pid":1,"tid":` + strconv.Itoa(tids[ev.Track]))
+		if len(ev.Args) > 0 {
+			bw.WriteString(`,"args":{`)
+			for j, a := range ev.Args {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(strconv.Quote(a.Key) + ":" + a.renderValue())
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// micros renders a virtual duration as trace-event microseconds with
+// nanosecond precision, deterministically.
+func micros(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e3, 'f', 3, 64)
+}
+
+// trackIDs assigns thread ids in display order: the supervisor first,
+// workers by numeric id, remaining tracks alphabetically. Assignment
+// depends only on the set of track names, never on emission order.
+func trackIDs(events []Event) map[string]int {
+	seen := make(map[string]bool)
+	var tracks []string
+	for i := range events {
+		if t := events[i].Track; !seen[t] {
+			seen[t] = true
+			tracks = append(tracks, t)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		ri, ni := trackRank(tracks[i])
+		rj, nj := trackRank(tracks[j])
+		if ri != rj {
+			return ri < rj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return tracks[i] < tracks[j]
+	})
+	ids := make(map[string]int, len(tracks))
+	for i, t := range tracks {
+		ids[t] = i + 1
+	}
+	return ids
+}
+
+// trackRank orders track classes for display; the int is the worker
+// index for worker tracks.
+func trackRank(track string) (int, int) {
+	if track == "supervisor" {
+		return 0, 0
+	}
+	if n, ok := strings.CutPrefix(track, "worker-"); ok {
+		if id, err := strconv.Atoi(n); err == nil {
+			return 1, id
+		}
+	}
+	return 2, 0
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonic metric. Updates are lock-free atomic adds,
+// so hot substrate paths no longer copy whole snapshot structs under a
+// mutex to bump a counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Metric is one named counter value in a snapshot.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Registry is the unified metrics namespace of a simulated deployment:
+// every substrate resolves its counters from one shared registry under
+// a dotted name ("kv.gets", "faas.cold_starts"), so a single snapshot
+// covers the whole cluster. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it at
+// zero on first use. Components resolve their counters once at
+// construction and then update them lock-free.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns every counter sorted by name. Zero-valued counters
+// are included: a registered metric that never fired is itself signal.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: c.Load()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot as an aligned name/value table.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	width := 0
+	for _, m := range snap {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	for _, m := range snap {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

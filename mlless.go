@@ -41,6 +41,8 @@
 package mlless
 
 import (
+	"io"
+
 	"mlless/internal/baseline/pywren"
 	"mlless/internal/baseline/serverful"
 	"mlless/internal/consistency"
@@ -52,6 +54,7 @@ import (
 	"mlless/internal/optimizer"
 	"mlless/internal/sched"
 	"mlless/internal/sparse"
+	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
@@ -90,7 +93,38 @@ type (
 	FaultMetrics = faults.Metrics
 	// Recovery aggregates the fault-recovery work a run performed.
 	Recovery = core.Recovery
+	// StepPhase is one step's time decomposition from a traced run.
+	StepPhase = core.StepPhase
 )
+
+// Observability types (see internal/trace and DESIGN.md §7).
+type (
+	// Tracer records a deterministic virtual-time trace of a run. Set
+	// one on Job.Trace (NewTracer) to enable tracing; nil disables it at
+	// zero cost.
+	Tracer = trace.Tracer
+	// MetricsRegistry is the unified counter namespace of a cluster
+	// (Cluster.Metrics): every substrate's counters under dotted names.
+	MetricsRegistry = trace.Registry
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = trace.Event
+)
+
+// NewTracer returns an empty, enabled tracer for Job.Trace.
+func NewTracer() *Tracer { return trace.New() }
+
+// WriteChromeTrace renders a recorded trace in the Chrome trace-event
+// JSON format (loadable at https://ui.perfetto.dev). The output is
+// byte-identical across runs with equal seeds.
+func WriteChromeTrace(w io.Writer, tr *Tracer) error {
+	return trace.WriteChrome(w, tr.Events())
+}
+
+// WriteStepTimeline renders a recorded trace as a per-step table of the
+// engine-phase time decomposition (§5's t_step breakdown).
+func WriteStepTimeline(w io.Writer, tr *Tracer) error {
+	return trace.WriteTimeline(w, tr.Events())
+}
 
 // ML types.
 type (
