@@ -35,6 +35,7 @@ func run() error {
 		sig       = flag.Float64("v", 0.7, "ISP significance threshold v")
 		autotune  = flag.Bool("autotune", false, "enable the scale-in auto-tuner")
 		staleness = flag.Int("staleness", 1, "SSP staleness bound (1 = per-step sync)")
+		kvShards  = flag.Int("kv-shards", 1, "KV exchange tier shard count (1 = single Redis endpoint)")
 		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
 		maxSteps  = flag.Int("max-steps", 500, "step cap")
 		lr        = flag.Float64("lr", 0, "learning rate (0 = model default)")
@@ -58,7 +59,38 @@ func run() error {
 	flag.Float64Var(faultReclaim, "fault-reclaim-prob", 0, "alias for -fault-reclaim")
 	flag.Parse()
 
-	cluster := mlless.NewCluster()
+	for _, check := range []struct {
+		name string
+		val  int
+	}{
+		{"kv-shards", *kvShards},
+		{"workers", *workers},
+		{"batch", *batch},
+		{"max-steps", *maxSteps},
+		{"staleness", *staleness},
+	} {
+		if check.val < 1 {
+			return fmt.Errorf("-%s must be >= 1, got %d", check.name, check.val)
+		}
+	}
+	for _, check := range []struct {
+		name string
+		val  float64
+	}{
+		{"fault-invoke", *faultInvoke},
+		{"fault-straggler", *faultStraggler},
+		{"fault-reclaim", *faultReclaim},
+		{"fault-kv", *faultKV},
+		{"fault-kv-slow", *faultKVSlow},
+		{"fault-mq", *faultMQ},
+		{"fault-mq-slow", *faultMQSlow},
+	} {
+		if check.val < 0 || check.val > 1 {
+			return fmt.Errorf("-%s must be a probability in [0, 1], got %g", check.name, check.val)
+		}
+	}
+
+	cluster := mlless.NewClusterWithShards(*kvShards)
 	job, err := buildJob(cluster, *modelName, *data, *batch, *lr, *seed)
 	if err != nil {
 		return err

@@ -167,6 +167,7 @@ func Registry() []struct {
 		{"abl-startup", AblStartup},
 		{"abl-ssp", AblSSP},
 		{"abl-faults", AblFaults},
+		{"abl-shards", AblShards},
 	}
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mlless/internal/consistency"
+	"mlless/internal/core"
+	"mlless/internal/cost"
+	"mlless/internal/trace"
+)
+
+// shardCounts returns the shard sweep points.
+func shardCounts(opts Options) []int {
+	if opts.Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// AblShards sweeps the KV exchange tier's shard count against exchange
+// time and $ cost. The paper keeps Redis as the update medium precisely
+// because it is shardable (§3.1), yet runs a single endpoint, so every
+// per-step pull serializes P-1 peer updates through one link — the P²
+// exchange wall of §3.2/§6. With N shards the pull fans out over
+// concurrent connections and is charged the maximum of the parallel
+// shard transfers, so pull time falls toward the per-request latency
+// floor while the bill grows by one M1.2x16 VM per shard: a classic
+// time/cost trade-off with a knee.
+func AblShards(opts Options) (Table, error) {
+	wl, workers := ablWorkload(opts)
+	t := Table{
+		ID:     "abl-shards",
+		Title:  "KV exchange tier shard count vs exchange time and cost (BSP pull path)",
+		Header: []string{"shards", "exec-time", "mean-pull", "steps", "cost-$", "perf-per-$", "converged"},
+		Notes: []string{
+			"pull charges the max of the parallel per-shard transfers; it decreases with shards and flattens at the latency floor",
+			"each shard bills its own always-on M1.2x16 VM, so $ cost rises linearly with the shard count",
+		},
+	}
+	for _, n := range shardCounts(opts) {
+		cl, job := wl.MakeShards(workers, n)
+		job.Spec.Sync = consistency.BSP
+		job.Spec.MaxSteps = 400
+		if opts.Quick {
+			job.Spec.MaxSteps = 80
+		}
+		// Trace every point: the mean pull-phase time is read from the
+		// per-step decomposition, which only traced runs populate.
+		job.Trace = trace.New()
+		res, err := runJob(opts, cl, job, fmt.Sprintf("abl-shards-n%d", n))
+		if err != nil {
+			return Table{}, fmt.Errorf("abl-shards (n=%d): %w", n, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			res.ExecTime.Round(time.Millisecond).String(),
+			meanPull(res.StepPhases).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", res.Steps),
+			fmt.Sprintf("%.4f", res.Cost.Total),
+			fmt.Sprintf("%.2f", cost.PerfPerDollar(res.ExecTime, res.Cost.Total)),
+			fmt.Sprintf("%v", res.Converged),
+		})
+	}
+	return t, nil
+}
+
+// meanPull averages the pull (peer-update exchange) phase over a run's
+// traced step decomposition.
+func meanPull(phases []core.StepPhase) time.Duration {
+	if len(phases) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, p := range phases {
+		total += p.Pull
+	}
+	return total / time.Duration(len(phases))
+}

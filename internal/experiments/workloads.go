@@ -87,8 +87,14 @@ func (w *Workload) stage() {
 // spec'd with the given worker count. Callers adjust Spec fields
 // (Sync, Significance, AutoTune, TargetLoss...) before core.Run.
 func (w *Workload) Make(workers int) (*core.Cluster, core.Job) {
+	return w.MakeShards(workers, 1)
+}
+
+// MakeShards is Make with the KV exchange tier hash-partitioned over
+// the given shard count (1 reproduces Make exactly).
+func (w *Workload) MakeShards(workers, shards int) (*core.Cluster, core.Job) {
 	w.stage()
-	cl := core.NewCluster()
+	cl := core.NewClusterWithShards(shards)
 	var clk vclock.Clock
 	for i, buf := range w.staged {
 		cl.COS.Put(&clk, w.Name, dataset.BatchKey(i), buf)

@@ -82,19 +82,6 @@ func DefaultConfig() Config {
 	}
 }
 
-// Metrics aggregates platform activity.
-type Metrics struct {
-	Invocations int64
-	ColdStarts  int64
-	WarmStarts  int64
-	Terminated  int64
-	// FailedInvocations counts invocation attempts rejected by injected
-	// transient faults (see package faults).
-	FailedInvocations int64
-	// Reclaimed counts containers the provider withdrew mid-run.
-	Reclaimed int64
-}
-
 // Platform is a simulated FaaS provider. It is safe for concurrent use.
 type Platform struct {
 	cfg    Config
@@ -330,22 +317,6 @@ func (p *Platform) Running() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.running)
-}
-
-// Metrics returns a snapshot of the platform counters.
-//
-// Deprecated: the counters live in the unified trace.Registry the
-// platform was built with (see Registry), under "faas.*" names; this
-// method is a compatibility view over them.
-func (p *Platform) Metrics() Metrics {
-	return Metrics{
-		Invocations:       p.cInvocations.Load(),
-		ColdStarts:        p.cColdStarts.Load(),
-		WarmStarts:        p.cWarmStarts.Load(),
-		Terminated:        p.cTerminated.Load(),
-		FailedInvocations: p.cFailedInvocations.Load(),
-		Reclaimed:         p.cReclaimed.Load(),
-	}
 }
 
 // Config returns the platform configuration.

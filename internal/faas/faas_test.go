@@ -29,9 +29,9 @@ func TestInvokeColdThenWarm(t *testing.T) {
 	if got := warm.Clock.Now(); got != time.Second+DefaultConfig().WarmStart {
 		t.Fatalf("warm invocation clock %v", got)
 	}
-	m := p.Metrics()
-	if m.ColdStarts != 1 || m.WarmStarts != 1 || m.Invocations != 2 {
-		t.Fatalf("metrics = %+v", m)
+	reg := p.Registry()
+	if cold, warmN, inv := reg.Counter("faas.cold_starts").Load(), reg.Counter("faas.warm_starts").Load(), reg.Counter("faas.invocations").Load(); cold != 1 || warmN != 1 || inv != 2 {
+		t.Fatalf("cold=%d warm=%d invocations=%d", cold, warmN, inv)
 	}
 }
 
@@ -227,8 +227,9 @@ func TestInjectedInvocationFailure(t *testing.T) {
 	if _, err := p.Invoke("w", 2048, 0); !errors.Is(err, faults.ErrInjected) {
 		t.Fatalf("err = %v, want ErrInjected", err)
 	}
-	if m := p.Metrics(); m.FailedInvocations != 1 || m.Invocations != 0 {
-		t.Fatalf("metrics = %+v", m)
+	reg := p.Registry()
+	if failed, inv := reg.Counter("faas.failed_invocations").Load(), reg.Counter("faas.invocations").Load(); failed != 1 || inv != 0 {
+		t.Fatalf("failed=%d invocations=%d", failed, inv)
 	}
 }
 
@@ -277,8 +278,8 @@ func TestReclaimBillsOnlyToReclaimPoint(t *testing.T) {
 	if rep.Components[0].Duration != lived {
 		t.Fatalf("billed %v, want %v", rep.Components[0].Duration, lived)
 	}
-	if p.Metrics().Reclaimed != 1 {
-		t.Fatalf("metrics = %+v", p.Metrics())
+	if n := p.Registry().Counter("faas.reclaimed").Load(); n != 1 {
+		t.Fatalf("reclaimed = %d", n)
 	}
 	// Claimed by Reclaim: BillTo must not meter the run again.
 	var again cost.Meter

@@ -6,6 +6,14 @@
 // clock and keeps per-operation metrics that the experiment harness
 // reports.
 //
+// All charging, fault injection, tracing and counter plumbing delegates
+// to the shared substrate pipeline (package substrate); this package
+// only owns the data plane. Two tiers are provided: Store is a single
+// endpoint, and Sharded (see sharded.go) spreads the key space over N
+// independent Store shards — the scalability escape hatch the paper
+// points at when a single Redis endpoint becomes the exchange wall
+// (§3.2, §6).
+//
 // The store is safe for concurrent use. Values are copied at the API
 // boundary so callers can never alias internal storage.
 package kvstore
@@ -18,32 +26,21 @@ import (
 
 	"mlless/internal/faults"
 	"mlless/internal/netmodel"
+	"mlless/internal/substrate"
 	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
-// Metrics aggregates the traffic a Store has served.
-type Metrics struct {
-	Gets         int64
-	Sets         int64
-	Deletes      int64
-	Misses       int64
-	BytesRead    int64
-	BytesWritten int64
-}
-
 // Store is a simulated in-memory key-value service.
 type Store struct {
-	link netmodel.Link
+	pipe *substrate.Pipeline
 
-	mu     sync.Mutex
-	data   map[string][]byte
-	faults *faults.Injector
-	tracer *trace.Tracer
+	mu   sync.Mutex
+	data map[string][]byte
 
-	reg *trace.Registry
-	// Counters live in the unified registry under "kv.*"; updates are
-	// lock-free atomic adds.
+	// Semantic traffic counters; they live in the unified registry under
+	// "<prefix>.*" ("kv.*" for a single store, "kv.sN.*" per shard) and
+	// updates are lock-free atomic adds.
 	cGets, cSets, cDeletes, cMisses, cBytesRead, cBytesWritten *trace.Counter
 }
 
@@ -56,79 +53,48 @@ func New(link netmodel.Link) *Store {
 // NewWithRegistry returns an empty store whose counters live in the
 // given unified registry under "kv.*".
 func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Store {
+	return newPrefixed(link, reg, "kv")
+}
+
+// newPrefixed builds a store whose counters live under prefix; shards
+// of a Sharded tier each get their own namespace ("kv.s0", "kv.s1", …).
+func newPrefixed(link netmodel.Link, reg *trace.Registry, prefix string) *Store {
+	pipe := substrate.New(substrate.Config{
+		Link:     link,
+		Cat:      trace.CatKV,
+		KeyLabel: "key",
+		Domain:   substrate.DomainKV,
+	}, reg)
 	return &Store{
-		link:          link,
+		pipe:          pipe,
 		data:          make(map[string][]byte),
-		reg:           reg,
-		cGets:         reg.Counter("kv.gets"),
-		cSets:         reg.Counter("kv.sets"),
-		cDeletes:      reg.Counter("kv.deletes"),
-		cMisses:       reg.Counter("kv.misses"),
-		cBytesRead:    reg.Counter("kv.bytes_read"),
-		cBytesWritten: reg.Counter("kv.bytes_written"),
+		cGets:         pipe.Counter(prefix + ".gets"),
+		cSets:         pipe.Counter(prefix + ".sets"),
+		cDeletes:      pipe.Counter(prefix + ".deletes"),
+		cMisses:       pipe.Counter(prefix + ".misses"),
+		cBytesRead:    pipe.Counter(prefix + ".bytes_read"),
+		cBytesWritten: pipe.Counter(prefix + ".bytes_written"),
 	}
 }
 
 // Registry returns the metrics registry the store's counters live in.
-func (s *Store) Registry() *trace.Registry { return s.reg }
+func (s *Store) Registry() *trace.Registry { return s.pipe.Registry() }
 
 // SetFaults installs (or, with nil, removes) a fault injector that adds
 // per-operation failures (client-retried, costing time) and latency
 // spikes. Do not call concurrently with operations; the engine installs
 // it during job setup and removes it at teardown.
-func (s *Store) SetFaults(in *faults.Injector) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.faults = in
-}
+func (s *Store) SetFaults(in *faults.Injector) { s.pipe.SetFaults(in) }
 
 // SetTracer installs (or, with nil, removes) a tracer that records one
 // span per operation on the calling clock's track, including any
 // injected fault delay (the "fault_x" arg carries the observed charge
 // multiplier). Same concurrency contract as SetFaults.
-func (s *Store) SetTracer(tr *trace.Tracer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tracer = tr
-}
-
-// chargeFaults advances clk by any injected penalty for an operation
-// that nominally cost base. It is called after the nominal charge, so
-// clk.Now() uniquely identifies the operation instant. The lock-free
-// read of s.faults is safe because SetFaults happens-before the worker
-// goroutines that perform operations (see SetFaults).
-func (s *Store) chargeFaults(clk *vclock.Clock, op, key string, base time.Duration) {
-	if s.faults == nil {
-		return
-	}
-	clk.Advance(s.faults.KVDelay(op, key, clk.Now(), base))
-}
-
-// traceOp records one operation span from start to clk.Now(). When the
-// total charge exceeds the nominal base (injected retries or a latency
-// spike), the multiplier is recorded so the spike × nominal relation is
-// visible on the timeline.
-func (s *Store) traceOp(clk *vclock.Clock, op, key string, start time.Duration, bytes int, base time.Duration) {
-	actual := clk.Now() - start
-	if actual > base && base > 0 {
-		s.tracer.SpanAt(clk, trace.CatKV, op, start,
-			trace.Str("key", key), trace.Int("bytes", bytes),
-			trace.Float("fault_x", float64(actual)/float64(base)))
-		return
-	}
-	s.tracer.SpanAt(clk, trace.CatKV, op, start,
-		trace.Str("key", key), trace.Int("bytes", bytes))
-}
+func (s *Store) SetTracer(tr *trace.Tracer) { s.pipe.SetTracer(tr) }
 
 // Set stores a copy of val under key and charges the transfer to clk.
 func (s *Store) Set(clk *vclock.Clock, key string, val []byte) {
-	start := clk.Now()
-	base := s.link.TransferTime(len(val))
-	clk.Advance(base)
-	s.chargeFaults(clk, "set", key, base)
-	if s.tracer.Enabled() {
-		s.traceOp(clk, "set", key, start, len(val), base)
-	}
+	s.pipe.Charge(clk, "set", key, len(val), s.pipe.TransferTime(len(val)))
 	cp := make([]byte, len(val))
 	copy(cp, val)
 
@@ -142,7 +108,6 @@ func (s *Store) Set(clk *vclock.Clock, key string, val []byte) {
 // Get returns a copy of the value under key. The round trip is charged
 // to clk whether or not the key exists.
 func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
-	start := clk.Now()
 	s.mu.Lock()
 	val, ok := s.data[key]
 	var cp []byte
@@ -155,53 +120,60 @@ func (s *Store) Get(clk *vclock.Clock, key string) ([]byte, bool) {
 
 	if !ok {
 		s.cMisses.Inc()
-		clk.Advance(s.link.RTT())
-		s.chargeFaults(clk, "get", key, s.link.RTT())
-		if s.tracer.Enabled() {
-			s.traceOp(clk, "get", key, start, 0, s.link.RTT())
-		}
+		s.pipe.Charge(clk, "get", key, 0, s.pipe.RTT())
 		return nil, false
 	}
 	s.cBytesRead.Add(int64(len(cp)))
-	base := s.link.TransferTime(len(cp))
-	clk.Advance(base)
-	s.chargeFaults(clk, "get", key, base)
-	if s.tracer.Enabled() {
-		s.traceOp(clk, "get", key, start, len(cp), base)
-	}
+	s.pipe.Charge(clk, "get", key, len(cp), s.pipe.TransferTime(len(cp)))
 	return cp, true
+}
+
+// collect reads the values of the selected keys into out, bumping the
+// get/miss/bytes counters, and returns the total bytes returned. idxs
+// selects which positions of keys to serve (nil means all); views skips
+// the defensive copies. It performs no charging — MGet charges one
+// pipelined transfer, the sharded tier the max over its shards.
+func (s *Store) collect(keys []string, idxs []int, out [][]byte, views bool) int {
+	total := 0
+	s.mu.Lock()
+	serve := func(i int) {
+		key := keys[i]
+		val, ok := s.data[key]
+		s.cGets.Inc()
+		if !ok {
+			s.cMisses.Inc()
+			return
+		}
+		if views {
+			out[i] = val
+		} else {
+			cp := make([]byte, len(val))
+			copy(cp, val)
+			out[i] = cp
+		}
+		total += len(val)
+		s.cBytesRead.Add(int64(len(val)))
+	}
+	if idxs == nil {
+		for i := range keys {
+			serve(i)
+		}
+	} else {
+		for _, i := range idxs {
+			serve(i)
+		}
+	}
+	s.mu.Unlock()
+	return total
 }
 
 // MGet fetches several keys in one pipelined request: a single request
 // latency plus the bandwidth cost of all returned values. Missing keys
 // yield nil entries.
 func (s *Store) MGet(clk *vclock.Clock, keys []string) [][]byte {
-	start := clk.Now()
 	out := make([][]byte, len(keys))
-	total := 0
-
-	s.mu.Lock()
-	for i, key := range keys {
-		val, ok := s.data[key]
-		s.cGets.Inc()
-		if !ok {
-			s.cMisses.Inc()
-			continue
-		}
-		cp := make([]byte, len(val))
-		copy(cp, val)
-		out[i] = cp
-		total += len(val)
-		s.cBytesRead.Add(int64(len(val)))
-	}
-	s.mu.Unlock()
-
-	base := s.link.TransferTime(total)
-	clk.Advance(base)
-	s.chargeFaults(clk, "mget", firstKey(keys), base)
-	if s.tracer.Enabled() {
-		s.traceOp(clk, "mget", firstKey(keys), start, total, base)
-	}
+	total := s.collect(keys, nil, out, false)
+	s.pipe.Charge(clk, "mget", firstKey(keys), total, s.pipe.TransferTime(total))
 	return out
 }
 
@@ -221,41 +193,15 @@ func firstKey(keys []string) string {
 // the hot path for applying peer updates, which are read once and
 // discarded.
 func (s *Store) MGetView(clk *vclock.Clock, keys []string) [][]byte {
-	start := clk.Now()
 	out := make([][]byte, len(keys))
-	total := 0
-
-	s.mu.Lock()
-	for i, key := range keys {
-		val, ok := s.data[key]
-		s.cGets.Inc()
-		if !ok {
-			s.cMisses.Inc()
-			continue
-		}
-		out[i] = val
-		total += len(val)
-		s.cBytesRead.Add(int64(len(val)))
-	}
-	s.mu.Unlock()
-
-	base := s.link.TransferTime(total)
-	clk.Advance(base)
-	s.chargeFaults(clk, "mget", firstKey(keys), base)
-	if s.tracer.Enabled() {
-		s.traceOp(clk, "mget", firstKey(keys), start, total, base)
-	}
+	total := s.collect(keys, nil, out, true)
+	s.pipe.Charge(clk, "mget", firstKey(keys), total, s.pipe.TransferTime(total))
 	return out
 }
 
 // Delete removes key, charging one round trip.
 func (s *Store) Delete(clk *vclock.Clock, key string) {
-	start := clk.Now()
-	clk.Advance(s.link.RTT())
-	s.chargeFaults(clk, "del", key, s.link.RTT())
-	if s.tracer.Enabled() {
-		s.traceOp(clk, "del", key, start, 0, s.link.RTT())
-	}
+	s.pipe.Charge(clk, "del", key, 0, s.pipe.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -264,10 +210,10 @@ func (s *Store) Delete(clk *vclock.Clock, key string) {
 }
 
 // Keys returns the sorted keys with the given prefix. It charges one
-// round trip (key lists are tiny compared to values).
+// round trip (key lists are tiny compared to values) and stays off the
+// trace timeline: the scan happens server-side.
 func (s *Store) Keys(clk *vclock.Clock, prefix string) []string {
-	clk.Advance(s.link.RTT())
-	s.chargeFaults(clk, "keys", prefix, s.link.RTT())
+	s.pipe.ChargeUntraced(clk, "keys", prefix, s.pipe.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -289,22 +235,6 @@ func (s *Store) Len() int {
 	return len(s.data)
 }
 
-// Metrics returns a snapshot of the traffic counters.
-//
-// Deprecated: the counters live in the unified trace.Registry the store
-// was built with (see Registry), under "kv.*" names; this method is a
-// compatibility view over them.
-func (s *Store) Metrics() Metrics {
-	return Metrics{
-		Gets:         s.cGets.Load(),
-		Sets:         s.cSets.Load(),
-		Deletes:      s.cDeletes.Load(),
-		Misses:       s.cMisses.Load(),
-		BytesRead:    s.cBytesRead.Load(),
-		BytesWritten: s.cBytesWritten.Load(),
-	}
-}
-
 // Flush removes all keys (job teardown between experiment runs).
 func (s *Store) Flush() {
 	s.mu.Lock()
@@ -314,8 +244,8 @@ func (s *Store) Flush() {
 
 // Link returns the network link used by the store, so callers can
 // estimate transfer times without performing operations.
-func (s *Store) Link() netmodel.Link { return s.link }
+func (s *Store) Link() netmodel.Link { return s.pipe.Link() }
 
 // TransferTime is a convenience passthrough for estimating the cost of a
 // hypothetical transfer of n bytes through this store's link.
-func (s *Store) TransferTime(n int) time.Duration { return s.link.TransferTime(n) }
+func (s *Store) TransferTime(n int) time.Duration { return s.pipe.TransferTime(n) }

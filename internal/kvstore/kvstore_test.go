@@ -29,8 +29,8 @@ func TestGetMissing(t *testing.T) {
 	if _, ok := s.Get(&clk, "nope"); ok {
 		t.Fatal("missing key reported present")
 	}
-	if s.Metrics().Misses != 1 {
-		t.Fatalf("Misses = %d", s.Metrics().Misses)
+	if n := s.Registry().Counter("kv.misses").Load(); n != 1 {
+		t.Fatalf("misses = %d", n)
 	}
 }
 
@@ -144,12 +144,14 @@ func TestMetrics(t *testing.T) {
 	s.Get(&clk, "a")
 	s.Get(&clk, "b")
 	s.Delete(&clk, "a")
-	m := s.Metrics()
-	if m.Sets != 1 || m.Gets != 2 || m.Deletes != 1 || m.Misses != 1 {
-		t.Fatalf("metrics = %+v", m)
+	reg := s.Registry()
+	load := func(name string) int64 { return reg.Counter(name).Load() }
+	if load("kv.sets") != 1 || load("kv.gets") != 2 || load("kv.deletes") != 1 || load("kv.misses") != 1 {
+		t.Fatalf("counters: sets=%d gets=%d deletes=%d misses=%d",
+			load("kv.sets"), load("kv.gets"), load("kv.deletes"), load("kv.misses"))
 	}
-	if m.BytesWritten != 5 || m.BytesRead != 5 {
-		t.Fatalf("byte counters = %+v", m)
+	if load("kv.bytes_written") != 5 || load("kv.bytes_read") != 5 {
+		t.Fatalf("byte counters: written=%d read=%d", load("kv.bytes_written"), load("kv.bytes_read"))
 	}
 }
 

@@ -1,0 +1,229 @@
+package kvstore
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlless/internal/faults"
+	"mlless/internal/netmodel"
+	"mlless/internal/trace"
+	"mlless/internal/vclock"
+)
+
+// ShardFor returns the shard index serving key in an n-shard tier. The
+// assignment is a pure function of the key bytes (FNV-1a mod n), so it
+// is stable across runs, processes and machines — a requirement for
+// byte-identical traces and for the paper's sharding story, where
+// clients agree on placement without coordination.
+func ShardFor(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Sharded spreads the key space over N independent Store shards, each
+// with its own link budget and counter namespace ("kv.s0.*", "kv.s1.*",
+// …). Single-key operations route to the owning shard; the batched
+// exchange operations (MGet, MGetView, Keys) fan out one pipelined
+// request per touched shard over concurrent connections and charge the
+// caller the maximum of the parallel branch costs rather than their
+// sum — the mechanism by which adding shards shrinks the P² gradient
+// exchange the paper identifies as the scalability wall (§3.2, §6).
+//
+// With one shard, every operation delegates unmodified to the single
+// underlying Store (counters stay under "kv.*"), so the default
+// configuration is byte-identical to the unsharded store.
+type Sharded struct {
+	shards []*Store
+}
+
+// NewSharded returns an n-shard tier reached through link, with a
+// private metrics registry. n < 1 is treated as 1.
+func NewSharded(link netmodel.Link, n int) *Sharded {
+	return NewShardedWithRegistry(link, trace.NewRegistry(), n)
+}
+
+// NewShardedWithRegistry returns an n-shard tier whose counters live in
+// reg: under "kv.*" for a single shard, "kv.sN.*" per shard otherwise.
+// Every shard gets its own instance of link, modelling one endpoint
+// (and one VM, see the engine's teardown billing) per shard.
+func NewShardedWithRegistry(link netmodel.Link, reg *trace.Registry, n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*Store, n)}
+	if n == 1 {
+		s.shards[0] = newPrefixed(link, reg, "kv")
+		return s
+	}
+	for i := range s.shards {
+		s.shards[i] = newPrefixed(link, reg, "kv.s"+strconv.Itoa(i))
+	}
+	return s
+}
+
+// NumShards reports the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i; experiment code uses it to inspect per-shard
+// state.
+func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
+
+// Registry returns the metrics registry the tier's counters live in.
+func (s *Sharded) Registry() *trace.Registry { return s.shards[0].Registry() }
+
+// SetFaults installs (or removes) the fault injector on every shard.
+// Same concurrency contract as Store.SetFaults.
+func (s *Sharded) SetFaults(in *faults.Injector) {
+	for _, sh := range s.shards {
+		sh.SetFaults(in)
+	}
+}
+
+// SetTracer installs (or removes) the tracer on every shard.
+func (s *Sharded) SetTracer(tr *trace.Tracer) {
+	for _, sh := range s.shards {
+		sh.SetTracer(tr)
+	}
+}
+
+// Link returns the per-shard network link (all shards share the same
+// link parameters; each shard is a separate instance of it).
+func (s *Sharded) Link() netmodel.Link { return s.shards[0].Link() }
+
+// TransferTime estimates moving n bytes through one shard's link.
+func (s *Sharded) TransferTime(n int) time.Duration { return s.shards[0].TransferTime(n) }
+
+// Set stores a copy of val under key on its owning shard.
+func (s *Sharded) Set(clk *vclock.Clock, key string, val []byte) {
+	s.shards[ShardFor(key, len(s.shards))].Set(clk, key, val)
+}
+
+// Get returns a copy of the value under key from its owning shard.
+func (s *Sharded) Get(clk *vclock.Clock, key string) ([]byte, bool) {
+	return s.shards[ShardFor(key, len(s.shards))].Get(clk, key)
+}
+
+// Delete removes key from its owning shard.
+func (s *Sharded) Delete(clk *vclock.Clock, key string) {
+	s.shards[ShardFor(key, len(s.shards))].Delete(clk, key)
+}
+
+// MGet fetches several keys, one pipelined request per touched shard
+// issued over concurrent connections; the caller is charged the
+// maximum of the parallel branch costs. Missing keys yield nil entries.
+func (s *Sharded) MGet(clk *vclock.Clock, keys []string) [][]byte {
+	return s.mget(clk, keys, false)
+}
+
+// MGetView is MGet without the defensive copies; the aliasing contract
+// is Store.MGetView's.
+func (s *Sharded) MGetView(clk *vclock.Clock, keys []string) [][]byte {
+	return s.mget(clk, keys, true)
+}
+
+func (s *Sharded) mget(clk *vclock.Clock, keys []string, views bool) [][]byte {
+	if len(s.shards) == 1 {
+		if views {
+			return s.shards[0].MGetView(clk, keys)
+		}
+		return s.shards[0].MGet(clk, keys)
+	}
+
+	// Group key positions by owning shard, preserving request order so
+	// each branch's label (its first key) is deterministic.
+	byShard := make(map[int][]int, len(s.shards))
+	for i, k := range keys {
+		si := ShardFor(k, len(s.shards))
+		byShard[si] = append(byShard[si], i)
+	}
+
+	out := make([][]byte, len(keys))
+	start := clk.Now()
+	var max time.Duration
+	// Iterate shards in index order: branch spans and fault draws are
+	// then independent of map iteration order.
+	for si, sh := range s.shards {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		total := sh.collect(keys, idxs, out, views)
+		label := keys[idxs[0]]
+		base := sh.pipe.TransferTime(total)
+		cost := sh.pipe.Cost("mget", label, start, base)
+		if cost > max {
+			max = cost
+		}
+		sh.pipe.TraceRange(clk, "mget", label, start, start+cost, base, total,
+			trace.Int("shard", si))
+	}
+	if len(byShard) == 0 {
+		// No keys: charge one empty pipelined request, like the single
+		// store does.
+		s.shards[0].pipe.Charge(clk, "mget", "", 0, s.shards[0].pipe.TransferTime(0))
+		return out
+	}
+	clk.Advance(max)
+	return out
+}
+
+// Keys returns the sorted keys with the given prefix across all shards.
+// Every shard is scanned concurrently; the caller is charged the
+// maximum branch cost. Like Store.Keys it stays off the trace timeline.
+//
+// Note: the branch fault draws share one (op, key, time) identity, so
+// with n > 1 all branches draw the same delay — harmless, since only
+// the maximum is charged.
+func (s *Sharded) Keys(clk *vclock.Clock, prefix string) []string {
+	if len(s.shards) == 1 {
+		return s.shards[0].Keys(clk, prefix)
+	}
+	start := clk.Now()
+	var max time.Duration
+	var out []string
+	for _, sh := range s.shards {
+		cost := sh.pipe.Cost("keys", prefix, start, sh.pipe.RTT())
+		if cost > max {
+			max = cost
+		}
+		sh.mu.Lock()
+		for k := range sh.data {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	clk.Advance(max)
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the total number of stored keys across shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Flush removes all keys from every shard.
+func (s *Sharded) Flush() {
+	for _, sh := range s.shards {
+		sh.Flush()
+	}
+}

@@ -1,0 +1,237 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"mlless/internal/faults"
+	"mlless/internal/netmodel"
+	"mlless/internal/trace"
+	"mlless/internal/vclock"
+)
+
+// TestShardForGolden pins the key→shard assignment. These values must
+// never change: placement is part of the deterministic-trace contract
+// (and, in the system the simulator models, clients agree on placement
+// without coordination).
+func TestShardForGolden(t *testing.T) {
+	cases := []struct {
+		key   string
+		n     int
+		shard int
+	}{
+		{"", 4, 1},
+		{"", 8, 5},
+		{"a", 4, 0},
+		{"a", 8, 4},
+		{"model/w0", 4, 0},
+		{"model/w0", 8, 0},
+		{"job1/upd/17/3", 4, 2},
+		{"job1/upd/17/3", 8, 2},
+		{"user:42", 4, 2},
+		{"user:42", 8, 2},
+	}
+	for _, c := range cases {
+		if got := ShardFor(c.key, c.n); got != c.shard {
+			t.Errorf("ShardFor(%q, %d) = %d, want %d", c.key, c.n, got, c.shard)
+		}
+	}
+	if ShardFor("anything", 1) != 0 {
+		t.Error("single shard must own every key")
+	}
+}
+
+func TestShardForStableAndInRange(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("job1/upd/%d/%d", i%17, i)
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			a, b := ShardFor(key, n), ShardFor(key, n)
+			if a != b {
+				t.Fatalf("ShardFor(%q, %d) unstable: %d vs %d", key, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("ShardFor(%q, %d) = %d out of range", key, n, a)
+			}
+		}
+	}
+}
+
+// driveOps runs one fixed operation sequence against a store interface.
+type kvAPI interface {
+	Set(*vclock.Clock, string, []byte)
+	Get(*vclock.Clock, string) ([]byte, bool)
+	MGet(*vclock.Clock, []string) [][]byte
+	MGetView(*vclock.Clock, []string) [][]byte
+	Delete(*vclock.Clock, string)
+	Keys(*vclock.Clock, string) []string
+	SetFaults(*faults.Injector)
+	SetTracer(*trace.Tracer)
+	Len() int
+}
+
+func driveOps(t *testing.T, s kvAPI, clk *vclock.Clock) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		s.Set(clk, fmt.Sprintf("upd/%d", i), bytes.Repeat([]byte{byte(i)}, 100*(i+1)))
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("upd/%d", i)
+	}
+	if got := s.MGet(clk, keys); len(got) != 8 || got[3] == nil {
+		t.Fatal("MGet lost values")
+	}
+	if got := s.MGetView(clk, append(keys, "missing")); got[8] != nil {
+		t.Fatal("missing key yielded a value")
+	}
+	if _, ok := s.Get(clk, "upd/5"); !ok {
+		t.Fatal("Get lost a value")
+	}
+	if _, ok := s.Get(clk, "nope"); ok {
+		t.Fatal("phantom key")
+	}
+	if ks := s.Keys(clk, "upd/"); len(ks) != 8 {
+		t.Fatalf("Keys found %d, want 8", len(ks))
+	}
+	s.Delete(clk, "upd/0")
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+}
+
+// TestShardedOneIsByteIdenticalToStore proves the refactor is
+// behavior-preserving at the default: a 1-shard tier must charge the
+// same virtual time and emit a byte-identical trace as the plain Store,
+// under fault injection.
+func TestShardedOneIsByteIdenticalToStore(t *testing.T) {
+	spec := faults.Spec{Seed: 5, KVFailProb: 0.2, KVSlowProb: 0.2}
+	run := func(s kvAPI) ([]byte, time.Duration) {
+		s.SetFaults(faults.New(spec))
+		tr := trace.New()
+		s.SetTracer(tr)
+		var clk vclock.Clock
+		tr.RegisterClock(&clk, "w0")
+		driveOps(t, s, &clk)
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), clk.Now()
+	}
+
+	plainTrace, plainEnd := run(New(netmodel.RedisLink()))
+	shardTrace, shardEnd := run(NewSharded(netmodel.RedisLink(), 1))
+	if plainEnd != shardEnd {
+		t.Fatalf("clock diverged: store %v, sharded(1) %v", plainEnd, shardEnd)
+	}
+	if !bytes.Equal(plainTrace, shardTrace) {
+		t.Fatalf("traces diverged:\nstore:      %s\nsharded(1): %s", plainTrace, shardTrace)
+	}
+}
+
+// TestShardedDeterministic proves a faulted, traced, multi-shard run is
+// byte-identical across executions.
+func TestShardedDeterministic(t *testing.T) {
+	run := func() []byte {
+		s := NewSharded(netmodel.RedisLink(), 4)
+		s.SetFaults(faults.New(faults.Spec{Seed: 9, KVFailProb: 0.2, KVSlowProb: 0.2}))
+		tr := trace.New()
+		s.SetTracer(tr)
+		var clk vclock.Clock
+		tr.RegisterClock(&clk, "w0")
+		driveOps(t, s, &clk)
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical sharded runs produced different traces")
+	}
+}
+
+// TestShardedRouting proves single-key operations land on the shard
+// ShardFor names, and nowhere else.
+func TestShardedRouting(t *testing.T) {
+	s := NewSharded(netmodel.RedisLink(), 4)
+	var clk vclock.Clock
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%d", i)
+		s.Set(&clk, key, []byte{1})
+		owner := ShardFor(key, 4)
+		for i := 0; i < 4; i++ {
+			sh := s.Shard(i)
+			sh.mu.Lock()
+			_, present := sh.data[key]
+			sh.mu.Unlock()
+			if present != (i == owner) {
+				t.Fatalf("key %q: present on shard %d, owner is %d", key, i, owner)
+			}
+		}
+		if got, ok := s.Get(&clk, key); !ok || len(got) != 1 {
+			t.Fatalf("Get(%q) lost the value", key)
+		}
+		s.Delete(&clk, key)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", s.Len())
+	}
+}
+
+// TestShardedMGetChargesMaxOfBranches pins the fan-out pricing: keys on
+// different shards transfer over concurrent connections, so the caller
+// pays the most expensive branch, not the sum.
+func TestShardedMGetChargesMaxOfBranches(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6} // 1 MB/s: size dominates
+	s := NewSharded(link, 2)
+	var clk vclock.Clock
+	// "k0" and "k2" live on shard 0; "k1" on shard 1 (see ShardFor).
+	s.Set(&clk, "k0", make([]byte, 1000))
+	s.Set(&clk, "k2", make([]byte, 1000))
+	s.Set(&clk, "k1", make([]byte, 500))
+
+	start := clk.Now()
+	got := s.MGet(&clk, []string{"k0", "k1", "k2"})
+	for i, v := range got {
+		if v == nil {
+			t.Fatalf("MGet[%d] = nil", i)
+		}
+	}
+	// Branch costs: shard 0 moves 2000 B, shard 1 moves 500 B.
+	slow := link.TransferTime(2000)
+	fast := link.TransferTime(500)
+	if fast >= slow {
+		t.Fatal("test setup broken: branches should differ")
+	}
+	if got := clk.Now() - start; got != slow {
+		t.Fatalf("fan-out charged %v, want max branch %v (serial sum would be %v)", got, slow, slow+fast)
+	}
+}
+
+// TestShardedSpreadsTraffic sanity-checks the per-shard counter
+// namespaces: a multi-shard tier accounts traffic under kv.sN.*.
+func TestShardedSpreadsTraffic(t *testing.T) {
+	s := NewSharded(netmodel.RedisLink(), 4)
+	var clk vclock.Clock
+	for i := 0; i < 64; i++ {
+		s.Set(&clk, fmt.Sprintf("k%d", i), []byte{1})
+	}
+	reg := s.Registry()
+	var total int64
+	for i := 0; i < 4; i++ {
+		n := reg.Counter(fmt.Sprintf("kv.s%d.sets", i)).Load()
+		if n == 0 {
+			t.Errorf("shard %d served no sets; hashing is not spreading keys", i)
+		}
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("per-shard sets sum to %d, want 64", total)
+	}
+	if reg.Counter("kv.sets").Load() != 0 {
+		t.Fatal("multi-shard tier leaked counts into the single-endpoint namespace")
+	}
+}

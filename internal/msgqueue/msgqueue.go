@@ -4,6 +4,10 @@
 // per-step loss reports, and scale-in commands. It offers named FIFO
 // queues and fanout exchanges, the two primitives the prototype uses.
 //
+// Link charging, fault injection, tracing and counters delegate to the
+// shared substrate pipeline (package substrate); this package owns only
+// the queue/exchange data plane.
+//
 // The broker is safe for concurrent use; consumption is non-blocking
 // because the simulator's step engine polls at deterministic points
 // instead of parking goroutines.
@@ -13,10 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"mlless/internal/faults"
 	"mlless/internal/netmodel"
+	"mlless/internal/substrate"
 	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
@@ -27,24 +31,14 @@ var ErrNoQueue = errors.New("msgqueue: queue not declared")
 // ErrNoExchange is returned when addressing an undeclared exchange.
 var ErrNoExchange = errors.New("msgqueue: exchange not declared")
 
-// Metrics aggregates broker traffic.
-type Metrics struct {
-	Published      int64
-	Consumed       int64
-	BytesPublished int64
-}
-
 // Broker is a simulated message broker.
 type Broker struct {
-	link   netmodel.Link
-	faults *faults.Injector
-	tracer *trace.Tracer
+	pipe *substrate.Pipeline
 
 	mu        sync.Mutex
 	queues    map[string][][]byte
 	exchanges map[string]map[string]bool // exchange -> bound queues
 
-	reg *trace.Registry
 	// Counters live in the unified registry under "mq.*".
 	cPublished, cConsumed, cBytesPublished *trace.Counter
 }
@@ -58,65 +52,36 @@ func New(link netmodel.Link) *Broker {
 // NewWithRegistry returns an empty broker whose counters live in the
 // given unified registry under "mq.*".
 func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Broker {
+	pipe := substrate.New(substrate.Config{
+		Link:     link,
+		Cat:      trace.CatMQ,
+		KeyLabel: "queue",
+		Domain:   substrate.DomainMQ,
+	}, reg)
 	return &Broker{
-		link:            link,
+		pipe:            pipe,
 		queues:          make(map[string][][]byte),
 		exchanges:       make(map[string]map[string]bool),
-		reg:             reg,
-		cPublished:      reg.Counter("mq.published"),
-		cConsumed:       reg.Counter("mq.consumed"),
-		cBytesPublished: reg.Counter("mq.bytes_published"),
+		cPublished:      pipe.Counter("mq.published"),
+		cConsumed:       pipe.Counter("mq.consumed"),
+		cBytesPublished: pipe.Counter("mq.bytes_published"),
 	}
 }
 
 // Registry returns the metrics registry the broker's counters live in.
-func (b *Broker) Registry() *trace.Registry { return b.reg }
+func (b *Broker) Registry() *trace.Registry { return b.pipe.Registry() }
 
 // SetTracer installs (or, with nil, removes) a tracer recording one
 // span per operation on the calling clock's track, with any injected
 // fault delay recorded as a "fault_x" charge multiplier. Same
 // concurrency contract as SetFaults.
-func (b *Broker) SetTracer(tr *trace.Tracer) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.tracer = tr
-}
-
-// traceOp records one operation span from start to clk.Now(),
-// annotating the observed charge multiplier when faults stretched it
-// past the nominal base.
-func (b *Broker) traceOp(clk *vclock.Clock, op, queue string, start time.Duration, bytes int, base time.Duration) {
-	actual := clk.Now() - start
-	if actual > base && base > 0 {
-		b.tracer.SpanAt(clk, trace.CatMQ, op, start,
-			trace.Str("queue", queue), trace.Int("bytes", bytes),
-			trace.Float("fault_x", float64(actual)/float64(base)))
-		return
-	}
-	b.tracer.SpanAt(clk, trace.CatMQ, op, start,
-		trace.Str("queue", queue), trace.Int("bytes", bytes))
-}
+func (b *Broker) SetTracer(tr *trace.Tracer) { b.pipe.SetTracer(tr) }
 
 // SetFaults installs (or, with nil, removes) a fault injector that adds
 // per-operation failures (client-retried, costing time) and latency
 // spikes. Do not call concurrently with operations; the engine installs
 // it during job setup and removes it at teardown.
-func (b *Broker) SetFaults(in *faults.Injector) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.faults = in
-}
-
-// chargeFaults advances clk by any injected penalty for an operation
-// that nominally cost base; clk.Now() (post nominal charge) identifies
-// the operation instant. The lock-free read of b.faults is safe because
-// SetFaults happens-before the worker goroutines that publish/consume.
-func (b *Broker) chargeFaults(clk *vclock.Clock, op, queue string, base time.Duration) {
-	if b.faults == nil {
-		return
-	}
-	clk.Advance(b.faults.MQDelay(op, queue, clk.Now(), base))
-}
+func (b *Broker) SetFaults(in *faults.Injector) { b.pipe.SetFaults(in) }
 
 // DeclareQueue creates a queue if it does not exist (idempotent).
 func (b *Broker) DeclareQueue(name string) {
@@ -170,13 +135,7 @@ func (b *Broker) Unbind(exchange, queue string) {
 
 // Publish appends a copy of msg to queue, charging one transfer to clk.
 func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
-	start := clk.Now()
-	base := b.link.TransferTime(len(msg))
-	clk.Advance(base)
-	b.chargeFaults(clk, "publish", queue, base)
-	if b.tracer.Enabled() {
-		b.traceOp(clk, "publish", queue, start, len(msg), base)
-	}
+	b.pipe.Charge(clk, "publish", queue, len(msg), b.pipe.TransferTime(len(msg)))
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 
@@ -195,13 +154,7 @@ func (b *Broker) Publish(clk *vclock.Clock, queue string, msg []byte) error {
 // A single transfer is charged: the broker VM, not the publisher,
 // performs the replication.
 func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) error {
-	start := clk.Now()
-	base := b.link.TransferTime(len(msg))
-	clk.Advance(base)
-	b.chargeFaults(clk, "fanout", exchange, base)
-	if b.tracer.Enabled() {
-		b.traceOp(clk, "fanout", exchange, start, len(msg), base)
-	}
+	b.pipe.Charge(clk, "fanout", exchange, len(msg), b.pipe.TransferTime(len(msg)))
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -222,7 +175,6 @@ func (b *Broker) PublishFanout(clk *vclock.Clock, exchange string, msg []byte) e
 // Consume pops the oldest message from queue. It returns false when the
 // queue is empty or undeclared. One round trip is charged either way.
 func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
-	start := clk.Now()
 	b.mu.Lock()
 	msgs := b.queues[queue]
 	var msg []byte
@@ -234,19 +186,13 @@ func (b *Broker) Consume(clk *vclock.Clock, queue string) ([]byte, bool) {
 	}
 	b.mu.Unlock()
 
-	base := b.link.TransferTime(len(msg))
-	clk.Advance(base)
-	b.chargeFaults(clk, "consume", queue, base)
-	if b.tracer.Enabled() {
-		b.traceOp(clk, "consume", queue, start, len(msg), base)
-	}
+	b.pipe.Charge(clk, "consume", queue, len(msg), b.pipe.TransferTime(len(msg)))
 	return msg, ok
 }
 
 // ConsumeAll drains queue, charging a single round trip plus the
 // bandwidth of everything returned (a batched basic.get).
 func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
-	start := clk.Now()
 	b.mu.Lock()
 	msgs := b.queues[queue]
 	b.queues[queue] = nil
@@ -257,12 +203,7 @@ func (b *Broker) ConsumeAll(clk *vclock.Clock, queue string) [][]byte {
 	for _, m := range msgs {
 		total += len(m)
 	}
-	base := b.link.TransferTime(total)
-	clk.Advance(base)
-	b.chargeFaults(clk, "consume-all", queue, base)
-	if b.tracer.Enabled() {
-		b.traceOp(clk, "consume-all", queue, start, total, base)
-	}
+	b.pipe.Charge(clk, "consume-all", queue, total, b.pipe.TransferTime(total))
 	return msgs
 }
 
@@ -271,17 +212,4 @@ func (b *Broker) Len(queue string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.queues[queue])
-}
-
-// Metrics returns a snapshot of the traffic counters.
-//
-// Deprecated: the counters live in the unified trace.Registry the
-// broker was built with (see Registry), under "mq.*" names; this method
-// is a compatibility view over them.
-func (b *Broker) Metrics() Metrics {
-	return Metrics{
-		Published:      b.cPublished.Load(),
-		Consumed:       b.cConsumed.Load(),
-		BytesPublished: b.cBytesPublished.Load(),
-	}
 }

@@ -168,9 +168,9 @@ func TestMetrics(t *testing.T) {
 	var clk vclock.Clock
 	_ = b.Publish(&clk, "q", []byte("abc"))
 	b.Consume(&clk, "q")
-	m := b.Metrics()
-	if m.Published != 1 || m.Consumed != 1 || m.BytesPublished != 3 {
-		t.Fatalf("metrics = %+v", m)
+	reg := b.Registry()
+	if pub, con, bts := reg.Counter("mq.published").Load(), reg.Counter("mq.consumed").Load(), reg.Counter("mq.bytes_published").Load(); pub != 1 || con != 1 || bts != 3 {
+		t.Fatalf("published=%d consumed=%d bytes=%d", pub, con, bts)
 	}
 }
 

@@ -4,6 +4,11 @@
 // store it has much higher first-byte latency, which is precisely why a
 // non-specialized serverless design that shuffles updates through object
 // storage is "dramatically inefficient" (§6.2).
+//
+// Link charging, tracing and counters delegate to the shared substrate
+// pipeline (package substrate); the pipeline is built without a fault
+// domain because the paper's failure modes live on the KV store, the
+// broker and the FaaS control plane, not on COS.
 package objstore
 
 import (
@@ -14,6 +19,7 @@ import (
 	"sync"
 
 	"mlless/internal/netmodel"
+	"mlless/internal/substrate"
 	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
@@ -21,26 +27,14 @@ import (
 // ErrNotFound is returned when a requested object does not exist.
 var ErrNotFound = errors.New("objstore: object not found")
 
-// Metrics aggregates the traffic a Store has served.
-type Metrics struct {
-	Puts         int64
-	Gets         int64
-	Deletes      int64
-	Lists        int64
-	BytesRead    int64
-	BytesWritten int64
-}
-
 // Store is a simulated object storage service with bucket/key namespaces.
 // It is safe for concurrent use.
 type Store struct {
-	link netmodel.Link
+	pipe *substrate.Pipeline
 
 	mu      sync.Mutex
 	buckets map[string]map[string][]byte
-	tracer  *trace.Tracer
 
-	reg *trace.Registry
 	// Counters live in the unified registry under "obj.*".
 	cPuts, cGets, cDeletes, cLists, cBytesRead, cBytesWritten *trace.Counter
 }
@@ -54,40 +48,36 @@ func New(link netmodel.Link) *Store {
 // NewWithRegistry returns an empty store whose counters live in the
 // given unified registry under "obj.*".
 func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Store {
+	pipe := substrate.New(substrate.Config{
+		Link:     link,
+		Cat:      trace.CatObj,
+		KeyLabel: "key",
+		Domain:   substrate.DomainNone,
+	}, reg)
 	return &Store{
-		link:          link,
+		pipe:          pipe,
 		buckets:       make(map[string]map[string][]byte),
-		reg:           reg,
-		cPuts:         reg.Counter("obj.puts"),
-		cGets:         reg.Counter("obj.gets"),
-		cDeletes:      reg.Counter("obj.deletes"),
-		cLists:        reg.Counter("obj.lists"),
-		cBytesRead:    reg.Counter("obj.bytes_read"),
-		cBytesWritten: reg.Counter("obj.bytes_written"),
+		cPuts:         pipe.Counter("obj.puts"),
+		cGets:         pipe.Counter("obj.gets"),
+		cDeletes:      pipe.Counter("obj.deletes"),
+		cLists:        pipe.Counter("obj.lists"),
+		cBytesRead:    pipe.Counter("obj.bytes_read"),
+		cBytesWritten: pipe.Counter("obj.bytes_written"),
 	}
 }
 
 // Registry returns the metrics registry the store's counters live in.
-func (s *Store) Registry() *trace.Registry { return s.reg }
+func (s *Store) Registry() *trace.Registry { return s.pipe.Registry() }
 
 // SetTracer installs (or, with nil, removes) a tracer recording one
 // span per operation on the calling clock's track. Do not call
 // concurrently with operations; the engine installs it during job setup
 // and removes it at teardown.
-func (s *Store) SetTracer(tr *trace.Tracer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tracer = tr
-}
+func (s *Store) SetTracer(tr *trace.Tracer) { s.pipe.SetTracer(tr) }
 
 // Put stores a copy of val as bucket/key, creating the bucket on demand.
 func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
-	start := clk.Now()
-	clk.Advance(s.link.TransferTime(len(val)))
-	if s.tracer.Enabled() {
-		s.tracer.SpanAt(clk, trace.CatObj, "put", start,
-			trace.Str("key", bucket+"/"+key), trace.Int("bytes", len(val)))
-	}
+	s.pipe.Charge(clk, "put", bucket+"/"+key, len(val), s.pipe.TransferTime(len(val)))
 	cp := make([]byte, len(val))
 	copy(cp, val)
 
@@ -105,7 +95,6 @@ func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
 
 // Get returns a copy of the object at bucket/key.
 func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
-	start := clk.Now()
 	s.mu.Lock()
 	var cp []byte
 	val, ok := s.buckets[bucket][key]
@@ -117,22 +106,18 @@ func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
 	s.cGets.Inc()
 
 	if !ok {
-		clk.Advance(s.link.RTT())
+		s.pipe.ChargeUntraced(clk, "get", bucket+"/"+key, s.pipe.RTT())
 		return nil, fmt.Errorf("get %s/%s: %w", bucket, key, ErrNotFound)
 	}
 	s.cBytesRead.Add(int64(len(cp)))
-	clk.Advance(s.link.TransferTime(len(cp)))
-	if s.tracer.Enabled() {
-		s.tracer.SpanAt(clk, trace.CatObj, "get", start,
-			trace.Str("key", bucket+"/"+key), trace.Int("bytes", len(cp)))
-	}
+	s.pipe.Charge(clk, "get", bucket+"/"+key, len(cp), s.pipe.TransferTime(len(cp)))
 	return cp, nil
 }
 
 // Size returns the byte size of an object without transferring it
 // (a HEAD request: one round trip).
 func (s *Store) Size(clk *vclock.Clock, bucket, key string) (int, error) {
-	clk.Advance(s.link.RTT())
+	s.pipe.ChargeUntraced(clk, "head", bucket+"/"+key, s.pipe.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,7 +131,7 @@ func (s *Store) Size(clk *vclock.Clock, bucket, key string) (int, error) {
 // Delete removes bucket/key. Deleting a missing object is not an error,
 // mirroring S3/COS semantics.
 func (s *Store) Delete(clk *vclock.Clock, bucket, key string) {
-	clk.Advance(s.link.RTT())
+	s.pipe.ChargeUntraced(clk, "del", bucket+"/"+key, s.pipe.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -156,7 +141,7 @@ func (s *Store) Delete(clk *vclock.Clock, bucket, key string) {
 
 // List returns the sorted keys in bucket with the given prefix.
 func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
-	clk.Advance(s.link.RTT())
+	s.pipe.ChargeUntraced(clk, "list", bucket+"/"+prefix, s.pipe.RTT())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -171,22 +156,6 @@ func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
 	return out
 }
 
-// Metrics returns a snapshot of the traffic counters.
-//
-// Deprecated: the counters live in the unified trace.Registry the store
-// was built with (see Registry), under "obj.*" names; this method is a
-// compatibility view over them.
-func (s *Store) Metrics() Metrics {
-	return Metrics{
-		Puts:         s.cPuts.Load(),
-		Gets:         s.cGets.Load(),
-		Deletes:      s.cDeletes.Load(),
-		Lists:        s.cLists.Load(),
-		BytesRead:    s.cBytesRead.Load(),
-		BytesWritten: s.cBytesWritten.Load(),
-	}
-}
-
 // DeleteBucket drops a whole bucket (experiment teardown).
 func (s *Store) DeleteBucket(bucket string) {
 	s.mu.Lock()
@@ -195,4 +164,4 @@ func (s *Store) DeleteBucket(bucket string) {
 }
 
 // Link returns the store's network link for time estimation.
-func (s *Store) Link() netmodel.Link { return s.link }
+func (s *Store) Link() netmodel.Link { return s.pipe.Link() }

@@ -125,12 +125,14 @@ func TestMetrics(t *testing.T) {
 	_, _ = s.Get(&clk, "b", "k")
 	s.List(&clk, "b", "")
 	s.Delete(&clk, "b", "k")
-	m := s.Metrics()
-	if m.Puts != 1 || m.Gets != 1 || m.Lists != 1 || m.Deletes != 1 {
-		t.Fatalf("metrics = %+v", m)
+	reg := s.Registry()
+	load := func(name string) int64 { return reg.Counter(name).Load() }
+	if load("obj.puts") != 1 || load("obj.gets") != 1 || load("obj.lists") != 1 || load("obj.deletes") != 1 {
+		t.Fatalf("counters: puts=%d gets=%d lists=%d deletes=%d",
+			load("obj.puts"), load("obj.gets"), load("obj.lists"), load("obj.deletes"))
 	}
-	if m.BytesWritten != 5 || m.BytesRead != 5 {
-		t.Fatalf("byte counters = %+v", m)
+	if load("obj.bytes_written") != 5 || load("obj.bytes_read") != 5 {
+		t.Fatalf("byte counters: written=%d read=%d", load("obj.bytes_written"), load("obj.bytes_read"))
 	}
 }
 

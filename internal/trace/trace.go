@@ -267,6 +267,24 @@ func (t *Tracer) SpanAt(clk *vclock.Clock, cat, name string, start time.Duration
 	t.SpanOn(track, cat, name, start, clk.Now(), args...)
 }
 
+// SpanRangeAt records a span over an explicit [start, end] interval on
+// the clock's registered track. Fan-out operations — a sharded KV fetch
+// that charges the caller the maximum of its parallel shard transfers —
+// use it to emit per-branch spans whose ends precede the clock's
+// post-fan-out time. Unregistered clocks drop the event.
+func (t *Tracer) SpanRangeAt(clk *vclock.Clock, cat, name string, start, end time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	track, ok := t.clocks[clk]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	t.SpanOn(track, cat, name, start, end, args...)
+}
+
 // InstantAt records an instant at an explicit virtual time on the
 // clock's registered track. Unregistered clocks drop the event.
 func (t *Tracer) InstantAt(clk *vclock.Clock, cat, name string, at time.Duration, args ...Arg) {
