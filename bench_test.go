@@ -86,6 +86,9 @@ func BenchmarkAblStartup(b *testing.B) { benchExperiment(b, "abl-startup") }
 // BenchmarkAblSSP sweeps the SSP staleness bound.
 func BenchmarkAblSSP(b *testing.B) { benchExperiment(b, "abl-ssp") }
 
+// BenchmarkAblAsync compares the barrier-free async schedule to BSP/ISP.
+func BenchmarkAblAsync(b *testing.B) { benchExperiment(b, "abl-async") }
+
 // BenchmarkTrainQuickPMF measures one end-to-end MLLess training run
 // (PMF, ISP, 4 workers) — the library's core path.
 func BenchmarkTrainQuickPMF(b *testing.B) {

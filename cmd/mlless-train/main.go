@@ -31,10 +31,10 @@ func run() error {
 		system    = flag.String("system", "mlless", "system: mlless | pytorch | pywren")
 		workers   = flag.Int("workers", 12, "initial worker count P")
 		batch     = flag.Int("batch", 625, "per-worker mini-batch size B")
-		sync      = flag.String("sync", "bsp", "synchronization: bsp | isp")
+		sync      = flag.String("sync", "bsp", "synchronization: bsp | isp | async")
 		sig       = flag.Float64("v", 0.7, "ISP significance threshold v")
 		autotune  = flag.Bool("autotune", false, "enable the scale-in auto-tuner")
-		staleness = flag.Int("staleness", 1, "SSP staleness bound (1 = per-step sync)")
+		staleness = flag.Int("staleness", 1, "SSP staleness bound; async staleness cap K (1 = per-step sync)")
 		kvShards  = flag.Int("kv-shards", 1, "KV exchange tier shard count (1 = single Redis endpoint)")
 		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
 		maxSteps  = flag.Int("max-steps", 500, "step cap")
@@ -105,6 +105,9 @@ func run() error {
 		job.Spec.Sync = mlless.BSP
 	case "isp":
 		job.Spec.Sync = mlless.ISP
+		job.Spec.Significance = *sig
+	case "async":
+		job.Spec.Sync = mlless.Async
 		job.Spec.Significance = *sig
 	default:
 		return fmt.Errorf("unknown sync model %q", *sync)

@@ -30,6 +30,12 @@ const (
 	BSP Mode = iota + 1
 	// ISP filters non-significant updates (the paper's optimization).
 	ISP
+	// Async drops the global barrier entirely (the fully asynchronous
+	// protocol of the journal version of MLLess, arXiv 2206.05786):
+	// workers free-run on their own clocks, pulling announced peer
+	// updates under a bounded staleness cap. It composes with the ISP
+	// significance filter (set Significance > 0).
+	Async
 )
 
 // String renders the mode name.
@@ -39,6 +45,8 @@ func (m Mode) String() string {
 		return "bsp"
 	case ISP:
 		return "isp"
+	case Async:
+		return "async"
 	default:
 		return "unknown"
 	}

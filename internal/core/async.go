@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mlless/internal/sparse"
+	"mlless/internal/trace"
+	"mlless/internal/vclock"
+)
+
+// Async is the event-driven schedule of the journal version of MLLess
+// (arXiv 2206.05786): no global barrier exists. Each worker advances on
+// its own virtual clock, publishing its update and immediately starting
+// the next step; at the head of every step it pulls whichever peer
+// updates its announcement queue says are available, waiting only for
+// their publish instants. Progress is bounded by the staleness cap: a
+// worker may start step s only while s <= min(completed)+Cap, so
+// replicas never drift more than Cap steps apart. With Cap = 1 every
+// worker sees exactly the peer updates of step s-1 before computing
+// step s — the same update sequence as BSP, applied in the same order,
+// so the loss history is identical (pinned by TestAsyncCapOneMatchesBSP)
+// while the timeline is free of barrier waits.
+//
+// The driver below is a sequential discrete-event simulation: among the
+// workers allowed to start a step it always picks the one with the
+// smallest (clock, id), which makes async runs — and their traces —
+// deterministic by construction, faults included.
+type Async struct {
+	// Cap is the staleness bound K >= 1 (Spec.Staleness under async).
+	Cap int
+}
+
+// Name implements Schedule.
+func (Async) Name() string { return "async" }
+
+// asyncState is the driver's bookkeeping for one worker.
+type asyncState struct {
+	// done is the highest step the worker has completed (published).
+	done int
+	// pubAt records the publish instant of each completed step, until
+	// the supervisor aggregates it.
+	pubAt map[int]time.Duration
+	// avail buffers announcements drained from the worker's queue but
+	// not yet pulled: avail[peer][step].
+	avail []map[int]asyncAnnounce
+	// pulledThrough[j] is the highest step of peer j this worker has
+	// applied; announcements arrive in step order, so it only grows.
+	pulledThrough []int
+}
+
+// Run implements Schedule.
+func (a Async) Run(e *engine) (*Result, error) {
+	spec := e.job.Spec
+	k := a.Cap
+	if k < 1 {
+		k = 1
+	}
+	n := len(e.workers)
+	states := make([]*asyncState, n)
+	for i := range states {
+		states[i] = &asyncState{
+			pubAt:         make(map[int]time.Duration),
+			avail:         make([]map[int]asyncAnnounce, n),
+			pulledThrough: make([]int, n),
+		}
+		for j := range states[i].avail {
+			states[i].avail[j] = make(map[int]asyncAnnounce)
+		}
+	}
+	reportBuf := make(map[int][]lossReport)
+	stopper := newStopCheck(spec)
+	converged := false
+	diverged := false
+	aggregated := 0     // highest step the supervisor has reconciled
+	expiredThrough := 0 // highest step whose update keys have been expired
+	cfg := e.cl.Platform.Config()
+
+	for {
+		minDone := spec.MaxSteps
+		for _, st := range states {
+			if st.done < minDone {
+				minDone = st.done
+			}
+		}
+
+		// Pick the eligible worker with the smallest (clock, id). The
+		// minimum-progress worker is always eligible, so the loop cannot
+		// stall before every worker reaches MaxSteps.
+		next := -1
+		for i, st := range states {
+			if st.done >= spec.MaxSteps || st.done+1 > minDone+k {
+				continue
+			}
+			if next < 0 || e.workers[i].inst.Clock.Now() < e.workers[next].inst.Clock.Now() {
+				next = i
+			}
+		}
+		if next < 0 {
+			break // every worker finished MaxSteps
+		}
+
+		w := e.workers[next]
+		st := states[next]
+		step := st.done + 1
+		c := &stepCtx{step: step, pActive: n, relaunch: true}
+		if err := e.runStates(w, c, stateRecover); err != nil {
+			return nil, err
+		}
+		if err := e.asyncPull(w, st, c); err != nil {
+			return nil, err
+		}
+		if err := e.runStates(w, c, stateMerge, stateFetch, stateCompute, statePublish); err != nil {
+			return nil, err
+		}
+		if !dead(w.inst) {
+			if err := w.inst.CheckLimit(cfg); err != nil {
+				return nil, fmt.Errorf("core: step %d: %w", step, err)
+			}
+		}
+		st.done = step
+		st.pubAt[step] = w.inst.Clock.Now()
+
+		// Reconcile every step the whole pool has now completed: the
+		// supervisor advances to the step's last publish instant,
+		// aggregates its loss reports and applies the stop criteria.
+		stop := false
+		for !stop {
+			minDone = spec.MaxSteps
+			for _, s := range states {
+				if s.done < minDone {
+					minDone = s.done
+				}
+			}
+			if aggregated >= minDone {
+				break
+			}
+			s := aggregated + 1
+			var at time.Duration
+			for _, ws := range states {
+				if t := ws.pubAt[s]; t > at {
+					at = t
+				}
+				delete(ws.pubAt, s)
+			}
+			if err := e.syncSupervisor(at, s); err != nil {
+				return nil, err
+			}
+			raw, updateBytes, err := e.aggregateAsync(s, n, reportBuf)
+			if err != nil {
+				return nil, err
+			}
+			if e.tr.Enabled() {
+				e.tr.SpanOn(supTrack, trace.CatEngine, "aggregate",
+					at, e.sup.Clock.Now(), trace.Int("step", s))
+			}
+			stepDur := e.advanceStep(at)
+			smoothed := e.recordStep(s, at, raw, updateBytes, n, stepDur)
+			aggregated = s
+
+			// Once every worker has completed step s, all of them have
+			// pulled the pool's updates through s-Cap (the staleness
+			// bound guarantees no later pull reaches that far back), so
+			// those keys expire.
+			for expiredThrough < s-k {
+				expiredThrough++
+				e.expireStep(expiredThrough, e.workers)
+			}
+
+			stop, converged, diverged = stopper.Decide(raw, smoothed, at)
+		}
+		if stop {
+			break
+		}
+	}
+
+	// Expire what the run still holds, including updates published by
+	// run-ahead workers past the last aggregated step, so a finished job
+	// leaves the store empty.
+	maxDone := 0
+	for _, st := range states {
+		if st.done > maxDone {
+			maxDone = st.done
+		}
+	}
+	var janitor vclock.Clock
+	for s := expiredThrough + 1; s <= maxDone; s++ {
+		for _, w := range e.workers {
+			e.cl.Redis.Delete(&janitor, e.updKey(s, w.id))
+		}
+	}
+
+	lastStep := 0
+	if len(e.history) > 0 {
+		lastStep = e.history[len(e.history)-1].Step
+	}
+	return e.teardown(converged, diverged, lastStep)
+}
+
+// asyncPull drains the worker's announcement queue and applies every
+// announced peer update for steps up to c.step-1, in (peer id, step)
+// order. The worker waits (AdvanceTo) for the latest publish instant
+// among the updates it takes: an update cannot be read before it was
+// written.
+func (e *engine) asyncPull(w *Worker, st *asyncState, c *stepCtx) error {
+	clk := &w.inst.Clock
+	segStart := clk.Now()
+
+	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
+	for _, m := range msgs {
+		ann, err := decodeAsyncAnnounce(m)
+		if err != nil {
+			return fmt.Errorf("core: worker %d: %w", w.id, err)
+		}
+		if int(ann.Worker) != w.id {
+			st.avail[ann.Worker][int(ann.Step)] = ann
+		}
+	}
+
+	var keys []string
+	var waitUntil time.Duration
+	for j := range e.workers {
+		if j == w.id {
+			continue
+		}
+		for t := st.pulledThrough[j] + 1; t <= c.step-1; t++ {
+			ann, ok := st.avail[j][t]
+			if !ok {
+				break
+			}
+			keys = append(keys, e.updKey(t, j))
+			if ann.At > waitUntil {
+				waitUntil = ann.At
+			}
+			delete(st.avail[j], t)
+			st.pulledThrough[j] = t
+		}
+	}
+	clk.AdvanceTo(waitUntil)
+
+	applied := 0
+	if len(keys) > 0 {
+		vals := e.cl.Redis.MGetView(clk, keys)
+		for i, buf := range vals {
+			if buf == nil {
+				return fmt.Errorf("core: worker %d async pull at step %d: missing announced update %s",
+					w.id, c.step, keys[i])
+			}
+			m, err := sparse.AddEncoded(w.model.Params(), buf)
+			if err != nil {
+				return fmt.Errorf("core: worker %d async pull at step %d: %w", w.id, c.step, err)
+			}
+			applied += m
+		}
+	}
+	e.chargeCompute(w, 4*float64(applied))
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "pull",
+			segStart, w.inst.Clock.Now(), trace.Int("step", c.step))
+	}
+	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("async pull at step %d", c.step))
+}
+
+// aggregateAsync drains the loss queue into buf (run-ahead workers may
+// have reported later steps already) and averages step's reports in
+// worker-id order (deterministic float summation).
+func (e *engine) aggregateAsync(step, expect int, buf map[int][]lossReport) (avgLoss float64, updateBytes int64, err error) {
+	for _, m := range e.cl.Broker.ConsumeAll(&e.sup.Clock, e.lossQueue()) {
+		r, err := decodeLossReport(m)
+		if err != nil {
+			return 0, 0, err
+		}
+		buf[int(r.Step)] = append(buf[int(r.Step)], r)
+	}
+	reports := buf[step]
+	delete(buf, step)
+	if len(reports) != expect {
+		return 0, 0, fmt.Errorf("core: supervisor got %d loss reports for step %d, want %d",
+			len(reports), step, expect)
+	}
+	sum := 0.0
+	// Fan-out queues preserve publish order per sender but the drain
+	// interleaves senders; fix the summation order by worker id.
+	byWorker := make([]lossReport, expect)
+	for _, r := range reports {
+		byWorker[int(r.Worker)] = r
+	}
+	for _, r := range byWorker {
+		sum += r.Loss
+		updateBytes += int64(r.UpdateBytes)
+	}
+	return sum / float64(expect), updateBytes, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mlless/internal/consistency"
+	"mlless/internal/sched"
+	"mlless/internal/trace"
+)
+
+func asyncSpec(spec Spec, cap int) Spec {
+	spec.Sync = consistency.Async
+	spec.Staleness = cap
+	return spec
+}
+
+func TestAsyncCapOneMatchesBSP(t *testing.T) {
+	// With staleness cap 1, a worker starting step s has seen exactly the
+	// peer updates of step s-1 — the same update sequence BSP's barrier
+	// enforces, applied in the same (peer-id) order. The loss history must
+	// therefore match BSP step for step, bit for bit, while the timeline
+	// sheds its barrier waits.
+	clB, jobB := testPMFJob(t, 3, Spec{MaxSteps: 50})
+	resB, err := Run(clB, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clA, jobA := testPMFJob(t, 3, asyncSpec(Spec{MaxSteps: 50}, 1))
+	resA, err := Run(clA, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Steps != resB.Steps {
+		t.Fatalf("async ran %d steps, BSP %d", resA.Steps, resB.Steps)
+	}
+	for i := range resB.History {
+		b, a := resB.History[i], resA.History[i]
+		if a.Step != b.Step || a.RawLoss != b.RawLoss || a.Loss != b.Loss {
+			t.Fatalf("history diverges at index %d: async %+v vs BSP %+v", i, a, b)
+		}
+	}
+	if resA.ExecTime > resB.ExecTime {
+		t.Fatalf("barrier-free async slower than BSP: %v vs %v", resA.ExecTime, resB.ExecTime)
+	}
+	if clA.Redis.Len() != 0 {
+		t.Fatalf("async run left %d keys in the store", clA.Redis.Len())
+	}
+}
+
+func TestAsyncConverges(t *testing.T) {
+	// Pure async (cap > 1) diverges from the BSP update sequence — workers
+	// compute on staler replicas — but must still reach the target loss on
+	// the seeded PMF job, with and without the ISP significance filter.
+	for _, tc := range []struct {
+		name string
+		sig  float64
+	}{
+		{"plain", 0},
+		{"with-isp-filter", 0.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := asyncSpec(Spec{TargetLoss: 0.85, MaxSteps: 400}, 3)
+			spec.Significance = tc.sig
+			cl, job := testPMFJob(t, 4, spec)
+			res, err := Run(cl, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("async did not reach loss 0.85 in %d steps (final %v)",
+					res.Steps, res.FinalLoss)
+			}
+			if res.ExecTime <= 0 {
+				t.Fatal("non-positive exec time")
+			}
+			if cl.Redis.Len() != 0 {
+				t.Fatalf("converged async run left %d keys in the store", cl.Redis.Len())
+			}
+		})
+	}
+}
+
+func TestAsyncStepDurationsNonNegative(t *testing.T) {
+	// Async reconciliation instants are the per-step publish maxima, which
+	// grow monotonically only per worker — the cross-worker maximum can
+	// regress between consecutive steps when a run-ahead worker published
+	// early. advanceStep clamps the difference; every recorded duration
+	// must come out non-negative.
+	cl, job := testPMFJob(t, 4, asyncSpec(Spec{MaxSteps: 80}, 4))
+	job.Spec.Faults = chaosSpec(11)
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.History {
+		if p.Duration < 0 {
+			t.Fatalf("negative step duration at step %d: %v", p.Step, p.Duration)
+		}
+	}
+}
+
+func TestAsyncSurvivesFaults(t *testing.T) {
+	cl, job := testPMFJob(t, 4, asyncSpec(Spec{MaxSteps: 150}, 3))
+	job.Spec.Faults = chaosSpec(5)
+	job.Spec.Faults.ReclaimProb = 0.9
+	job.Spec.Faults.ReclaimMeanLife = 3 * time.Second
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 150 {
+		t.Fatalf("faulted async run completed %d steps, want 150", res.Steps)
+	}
+	if res.Recovery.WorkerDeaths == 0 {
+		t.Fatalf("no container deaths at ReclaimProb 0.9 (faults: %+v)", res.Faults)
+	}
+	if res.Recovery.Overhead() <= 0 {
+		t.Fatalf("deaths without recovery overhead: %+v", res.Recovery)
+	}
+	if cl.Redis.Len() != 0 {
+		t.Fatalf("faulted async run left %d keys in the store", cl.Redis.Len())
+	}
+}
+
+func TestAsyncLeavesNoStaleKeys(t *testing.T) {
+	// An early TargetLoss stop catches run-ahead workers mid-window: they
+	// have published updates past the last aggregated step, which only the
+	// post-loop janitor can reach. The store must still end empty.
+	cl, job := testPMFJob(t, 4, asyncSpec(Spec{TargetLoss: 0.9, MaxSteps: 2000}, 4))
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("run did not stop on target loss (final %v after %d steps)", res.FinalLoss, res.Steps)
+	}
+	if res.Steps >= 2000 {
+		t.Fatal("run was not an early stop; the test exercises nothing")
+	}
+	if cl.Redis.Len() != 0 {
+		t.Fatalf("early-stopped async run left %d keys in the store", cl.Redis.Len())
+	}
+}
+
+func TestAsyncDeterministicTraces(t *testing.T) {
+	// The determinism guarantee extends to async: the driver is a
+	// sequential discrete-event simulation (smallest (clock, id) runs
+	// next), so identically-seeded faulted runs yield byte-identical
+	// traces even though no barrier ever aligns the workers.
+	run := func() (*Result, *trace.Tracer) {
+		cl, job := testPMFJob(t, 4, asyncSpec(Spec{MaxSteps: 120}, 3))
+		job.Spec.Faults = chaosSpec(3)
+		job.Spec.Faults.ReclaimProb = 0.9
+		job.Spec.Faults.ReclaimMeanLife = 3 * time.Second
+		job.Trace = trace.New()
+		res, err := Run(cl, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, job.Trace
+	}
+	_, trA := run()
+	resB, trB := run()
+
+	var bufA, bufB bytes.Buffer
+	if err := trace.WriteChrome(&bufA, trA.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(&bufB, trB.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("async trace files differ across identically-seeded runs")
+	}
+
+	counts := make(map[string]int)
+	for _, ev := range trB.Events() {
+		counts[ev.Cat+"/"+ev.Name]++
+	}
+	for _, want := range []string{
+		"faas/relaunch", "fault/recover",
+		"engine/fetch", "engine/compute", "engine/publish", "engine/pull", "engine/aggregate",
+	} {
+		if counts[want] == 0 {
+			t.Errorf("no %q events in a faulted async trace (have %v)", want, counts)
+		}
+	}
+	// No barrier exists under async; a barrier span would mean lock-step
+	// code leaked into the event-driven schedule.
+	if counts["engine/barrier"] != 0 {
+		t.Errorf("async trace contains %d barrier spans", counts["engine/barrier"])
+	}
+	if resB.Recovery.WorkerDeaths == 0 {
+		t.Fatal("faulted async run recorded no deaths")
+	}
+}
+
+func TestAsyncRejectsAutoTune(t *testing.T) {
+	// The scale-in auto-tuner evicts at sync points, which async does not
+	// have; the combination must fail validation up front.
+	cl, job := testPMFJob(t, 4, asyncSpec(Spec{MaxSteps: 10}, 2))
+	job.Spec.AutoTune = true
+	job.Spec.Sched = sched.Config{Epoch: 300 * time.Millisecond, S: 0.1}
+	if _, err := Run(cl, job); !errors.Is(err, ErrAsyncAutoTune) {
+		t.Fatalf("async + auto-tune returned %v, want ErrAsyncAutoTune", err)
+	}
+}
+
+func TestScheduleFor(t *testing.T) {
+	if s := scheduleFor(Spec{Sync: consistency.BSP}.withDefaults()); s.Name() != "lockstep" {
+		t.Fatalf("BSP spec got schedule %q", s.Name())
+	}
+	if s := scheduleFor(Spec{Sync: consistency.ISP, Staleness: 3}.withDefaults()); s.Name() != "lockstep" {
+		t.Fatalf("SSP spec got schedule %q", s.Name())
+	}
+	s := scheduleFor(Spec{Sync: consistency.Async, Staleness: 4}.withDefaults())
+	if s.Name() != "async" {
+		t.Fatalf("async spec got schedule %q", s.Name())
+	}
+	if a, ok := s.(Async); !ok || a.Cap != 4 {
+		t.Fatalf("async schedule did not carry the staleness cap: %+v", s)
+	}
+}

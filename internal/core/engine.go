@@ -1,10 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -14,54 +11,24 @@ import (
 	"mlless/internal/faas"
 	"mlless/internal/faults"
 	"mlless/internal/fit"
-	"mlless/internal/model"
-	"mlless/internal/optimizer"
 	"mlless/internal/sched"
-	"mlless/internal/sparse"
 	"mlless/internal/trace"
 	"mlless/internal/vclock"
 )
 
-// relaunchMargin is how close to the FaaS execution limit a function may
-// get before the engine checkpoints and re-launches it (§3.1: "pause
-// execution when the 10-minute timeout is close, checkpoint its internal
-// state to storage and re-launch it").
-const relaunchMargin = 30 * time.Second
-
-// Invocation retry policy: transiently failed invocations (injected by
-// the fault layer) back off exponentially in virtual time, starting at
-// invokeRetryBase and giving up after maxInvokeAttempts.
-const (
-	invokeRetryBase   = 100 * time.Millisecond
-	maxInvokeAttempts = 8
-)
-
-// maxConsecutiveDeaths bounds back-to-back reclamations of one worker
-// inside a single step, so a pathological reclaim probability turns
-// into an error instead of an unbounded recovery loop.
-const maxConsecutiveDeaths = 10
-
-// workerState is one serverless worker: its function instance, its local
-// model replica, optimizer and significance filter (§3.1).
-type workerState struct {
-	id     int
-	inst   *faas.Instance
-	model  model.Model
-	opt    optimizer.Optimizer
-	filter *consistency.Filter
-
-	lastLoss     float64
-	pendingMerge string // eviction-replica key to average in next step
-	alive        bool
-	gen          int // relaunch/recovery generation; distinguishes billing labels
-}
+// The engine is split into layers (see DESIGN.md §9): this file owns the
+// run lifecycle (setup, teardown, billing); worker.go the per-step state
+// machine each worker executes; supervisor.go the loss aggregation, stop
+// criteria and evictions; recovery.go the death/relaunch paths;
+// protocol.go the key namespace and wire messages; and schedule.go /
+// async.go the step-driving policies behind the Schedule interface.
 
 type engine struct {
 	cl  *Cluster
 	job Job
 	id  string
 
-	workers []*workerState
+	workers []*Worker
 	sup     *faas.Instance
 	supGen  int
 	plan    dataset.Plan
@@ -86,13 +53,6 @@ type engine struct {
 	totalUpdateBytes int64
 	prevBarrier      time.Duration
 	lastStepDur      time.Duration
-}
-
-// relaunchHorizon is how much execution budget must remain for a
-// function to skip checkpointing: a fixed safety margin plus room for
-// two steps like the last one (steps cannot be split mid-flight).
-func (e *engine) relaunchHorizon() time.Duration {
-	return relaunchMargin + 2*e.lastStepDur
 }
 
 // Run executes a training job on the cluster and returns its result.
@@ -141,50 +101,8 @@ func Run(cl *Cluster, job Job) (*Result, error) {
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
-	res, err := e.loop()
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return scheduleFor(job.Spec).Run(e)
 }
-
-func (e *engine) updKey(step, worker int) string {
-	return fmt.Sprintf("%s/upd/%d/%d", e.id, step, worker)
-}
-func (e *engine) evictKey(worker int) string {
-	return fmt.Sprintf("%s/evict/%d", e.id, worker)
-}
-func (e *engine) ckptKey(worker int) string {
-	return fmt.Sprintf("%s/ckpt/%d", e.id, worker)
-}
-func (e *engine) lossQueue() string          { return e.id + "/losses" }
-func (e *engine) annExchange() string        { return e.id + "/ann" }
-func (e *engine) annQueue(worker int) string { return fmt.Sprintf("%s/ann/%d", e.id, worker) }
-
-// workerName labels a worker's function for billing. Each relaunch or
-// recovery generation gets a distinct suffix so re-launched runs never
-// collide on a billing label.
-func (e *engine) workerName(id, gen int) string {
-	if gen == 0 {
-		return fmt.Sprintf("%s/worker-%d", e.id, id)
-	}
-	return fmt.Sprintf("%s/worker-%d-r%d", e.id, id, gen)
-}
-
-// supName is workerName for the supervisor.
-func (e *engine) supName() string {
-	if e.supGen == 0 {
-		return e.id + "/supervisor"
-	}
-	return fmt.Sprintf("%s/supervisor-r%d", e.id, e.supGen)
-}
-
-// workerTrack names a worker's trace track; unlike billing labels it is
-// stable across relaunch generations, so one worker is one timeline.
-func workerTrack(id int) string { return fmt.Sprintf("worker-%d", id) }
-
-// supTrack is the supervisor's trace track.
-const supTrack = "supervisor"
 
 // traceBoot registers a freshly invoked instance's clock under track and
 // records its start latency as a cold-start or warm-start span. Call it
@@ -217,10 +135,10 @@ func (e *engine) setup() error {
 	e.cl.Broker.DeclareFanout(e.annExchange())
 
 	v := spec.Significance
-	if spec.Sync != consistency.ISP {
+	if spec.Sync != consistency.ISP && spec.Sync != consistency.Async {
 		v = 0
 	}
-	e.workers = make([]*workerState, spec.Workers)
+	e.workers = make([]*Worker, spec.Workers)
 	for i := range e.workers {
 		inst, err := e.invokeAt(e.workerName(i, 0), spec.MemoryMiB, 0, false)
 		if err != nil {
@@ -231,7 +149,7 @@ func (e *engine) setup() error {
 		if err := e.cl.Broker.Bind(e.annExchange(), e.annQueue(i)); err != nil {
 			return fmt.Errorf("core: bind worker %d: %w", i, err)
 		}
-		e.workers[i] = &workerState{
+		e.workers[i] = &Worker{
 			id:     i,
 			inst:   inst,
 			model:  e.job.Model.Clone(),
@@ -264,8 +182,8 @@ func (e *engine) setup() error {
 	return nil
 }
 
-func (e *engine) active() []*workerState {
-	out := make([]*workerState, 0, len(e.workers))
+func (e *engine) active() []*Worker {
+	out := make([]*Worker, 0, len(e.workers))
 	for _, w := range e.workers {
 		if w.alive {
 			out = append(out, w)
@@ -276,658 +194,14 @@ func (e *engine) active() []*workerState {
 
 // chargeCompute advances a worker's clock by the virtual duration of
 // flops floating-point operations at its memory-proportional CPU share.
-func (e *engine) chargeCompute(w *workerState, flops float64) {
+func (e *engine) chargeCompute(w *Worker, flops float64) {
 	secs := flops / (e.cl.Compute.FlopsPerSecond * w.inst.CPUShare())
 	w.inst.Clock.Advance(time.Duration(secs * float64(time.Second)))
 }
 
-// invokeAt launches a function at virtual time at, retrying attempts
-// that fail with an injected transient error. Each retry backs off
-// exponentially in virtual time, so the successful attempt (and every
-// charge after it) starts later; the backoff is recorded as restart
-// overhead. Non-injected errors and attempts beyond maxInvokeAttempts
-// are returned as-is.
-func (e *engine) invokeAt(name string, memoryMiB int, at time.Duration, cold bool) (*faas.Instance, error) {
-	backoff := invokeRetryBase
-	for attempt := 1; ; attempt++ {
-		var inst *faas.Instance
-		var err error
-		if cold {
-			inst, err = e.cl.Platform.InvokeCold(name, memoryMiB, at)
-		} else {
-			inst, err = e.cl.Platform.Invoke(name, memoryMiB, at)
-		}
-		if err == nil {
-			return inst, nil
-		}
-		if !errors.Is(err, faults.ErrInjected) || attempt == maxInvokeAttempts {
-			return nil, err
-		}
-		e.recMu.Lock()
-		e.recovery.InvokeRetries++
-		e.recovery.RestartTime += backoff
-		e.recMu.Unlock()
-		at += backoff
-		backoff *= 2
-	}
-}
-
-// dead reports whether the instance's container has been reclaimed by
-// the provider: its clock has caught up with the reclaim instant, so
-// any work charged past that point is void.
-func dead(inst *faas.Instance) bool {
-	return inst.ReclaimAt > 0 && inst.Clock.Now() >= inst.ReclaimAt
-}
-
-// recoverWorker replaces a worker whose container the provider
-// reclaimed. The dead run is billed up to the reclaim point, a
-// replacement boots cold (the platform just withdrew capacity, so no
-// warm container is assumed — which also keeps concurrent recoveries
-// off the bounded warm pool), and the replica state (parameters plus
-// optimizer moments) is re-downloaded. Boot and download land in
-// Recovery.RestartTime.
-func (e *engine) recoverWorker(w *workerState) error {
-	deadAt := w.inst.ReclaimAt
-	mem := w.inst.MemoryMiB
-	if err := e.cl.Platform.Reclaim(w.inst, &e.meter); err != nil {
-		return fmt.Errorf("core: reclaim worker %d: %w", w.id, err)
-	}
-	w.gen++
-	inst, err := e.invokeAt(e.workerName(w.id, w.gen), mem, deadAt, true)
-	if err != nil {
-		return fmt.Errorf("core: recover worker %d: %w", w.id, err)
-	}
-	w.inst = inst
-	e.traceBoot(inst, workerTrack(w.id))
-	// Parameters plus optimizer state (~2x params, as in maybeRelaunch);
-	// charged, not materialized — the in-memory replica already holds
-	// the restored state.
-	state := sparse.DenseEncodedSize(w.model.NumParams())
-	w.inst.Clock.Advance(2 * e.cl.Redis.TransferTime(state))
-	e.recMu.Lock()
-	e.recovery.WorkerDeaths++
-	e.recovery.RestartTime += w.inst.Clock.Now() - deadAt
-	e.recMu.Unlock()
-	if e.tr.Enabled() {
-		// Two views of the same interval: the FaaS lifecycle sees a
-		// relaunch caused by reclamation; the fault layer sees recovery
-		// work (re-download) it must account to the overhead bill.
-		e.tr.SpanOn(workerTrack(w.id), trace.CatFaaS, "relaunch", deadAt, w.inst.Clock.Now(),
-			trace.Int("gen", w.gen), trace.Str("cause", "reclaim"))
-		e.tr.SpanOn(workerTrack(w.id), trace.CatFault, "recover", deadAt, w.inst.Clock.Now(),
-			trace.Int("gen", w.gen))
-	}
-	return nil
-}
-
-// redoSegmentOnDeath is the mid-step recovery loop: while the worker's
-// container is dead, recover onto a fresh one and recharge the time the
-// segment took. The math is deterministic and the replica state is
-// restored from the checkpoint, so only time — not results — must be
-// redone. segStart is when the segment began on the then-current
-// instance; the redone work lands in Recovery.RecomputeTime.
-func (e *engine) redoSegmentOnDeath(w *workerState, segStart time.Duration, what string) error {
-	for deaths := 0; dead(w.inst); {
-		if deaths++; deaths > maxConsecutiveDeaths {
-			return fmt.Errorf("core: worker %d: %d consecutive reclamations during %s: %w",
-				w.id, deaths-1, what, faults.ErrInjected)
-		}
-		redo := w.inst.Clock.Now() - segStart
-		if err := e.recoverWorker(w); err != nil {
-			return err
-		}
-		segStart = w.inst.Clock.Now()
-		w.inst.Clock.Advance(redo)
-		e.recMu.Lock()
-		e.recovery.RecomputeTime += redo
-		e.recMu.Unlock()
-		if e.tr.Enabled() {
-			e.tr.SpanOn(workerTrack(w.id), trace.CatFault, "recompute",
-				segStart, w.inst.Clock.Now(), trace.Str("what", what))
-		}
-	}
-	return nil
-}
-
-// maybeRelaunch checkpoints and re-launches a worker approaching the
-// platform's execution limit, charging the checkpoint transfer, the
-// start latency and the state download.
-func (e *engine) maybeRelaunch(w *workerState) error {
-	cfg := e.cl.Platform.Config()
-	if cfg.MaxDuration <= 0 || w.inst.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
-		return nil
-	}
-	// Checkpoint: model parameters plus optimizer state (≈2x params for
-	// Adam's two moments; charged, not materialized).
-	ckptStart := w.inst.Clock.Now()
-	params := denseOf(w.model)
-	payload := params.Encode()
-	e.cl.Redis.Set(&w.inst.Clock, e.ckptKey(w.id), payload)
-	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
-	resumeAt := w.inst.Clock.Now()
-	mem := w.inst.MemoryMiB
-	if err := e.cl.Platform.TerminateInto(w.inst, &e.meter); err != nil {
-		return fmt.Errorf("core: relaunch terminate worker %d: %w", w.id, err)
-	}
-	w.gen++
-	inst, err := e.invokeAt(e.workerName(w.id, w.gen), mem, resumeAt, false)
-	if err != nil {
-		return fmt.Errorf("core: relaunch worker %d: %w", w.id, err)
-	}
-	w.inst = inst
-	e.traceBoot(inst, workerTrack(w.id))
-	// Download the checkpoint into the fresh instance, then delete it:
-	// consumed checkpoints must not accumulate in the store.
-	if _, ok := e.cl.Redis.Get(&w.inst.Clock, e.ckptKey(w.id)); !ok {
-		return fmt.Errorf("core: relaunch worker %d: checkpoint vanished", w.id)
-	}
-	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
-	e.cl.Redis.Delete(&w.inst.Clock, e.ckptKey(w.id))
-	e.recMu.Lock()
-	e.relaunches++
-	e.recMu.Unlock()
-	if e.tr.Enabled() {
-		e.tr.SpanOn(workerTrack(w.id), trace.CatFaaS, "relaunch",
-			ckptStart, w.inst.Clock.Now(), trace.Int("gen", w.gen), trace.Str("cause", "limit"))
-	}
-	return nil
-}
-
-// denseOf returns the model's parameter vector.
-func denseOf(m model.Model) sparse.Dense { return m.Params() }
-
-// maybeRelaunchSup does for the supervisor what maybeRelaunch does for
-// workers. Its checkpoint is small: the loss history and tuner state.
-func (e *engine) maybeRelaunchSup() error {
-	cfg := e.cl.Platform.Config()
-	if cfg.MaxDuration <= 0 || e.sup.Elapsed() < cfg.MaxDuration-e.relaunchHorizon() {
-		return nil
-	}
-	ckptStart := e.sup.Clock.Now()
-	ckpt := make([]byte, 24*len(e.history)+1024)
-	e.cl.Redis.Set(&e.sup.Clock, e.id+"/sup-ckpt", ckpt)
-	resumeAt := e.sup.Clock.Now()
-	mem := e.sup.MemoryMiB
-	if err := e.cl.Platform.TerminateInto(e.sup, &e.meter); err != nil {
-		return fmt.Errorf("core: relaunch supervisor: %w", err)
-	}
-	e.supGen++
-	sup, err := e.invokeAt(e.supName(), mem, resumeAt, false)
-	if err != nil {
-		return fmt.Errorf("core: relaunch supervisor: %w", err)
-	}
-	e.sup = sup
-	e.traceBoot(sup, supTrack)
-	if _, ok := e.cl.Redis.Get(&e.sup.Clock, e.id+"/sup-ckpt"); !ok {
-		return fmt.Errorf("core: relaunch supervisor: checkpoint vanished")
-	}
-	e.cl.Redis.Delete(&e.sup.Clock, e.id+"/sup-ckpt")
-	e.recMu.Lock()
-	e.relaunches++
-	e.recMu.Unlock()
-	if e.tr.Enabled() {
-		e.tr.SpanOn(supTrack, trace.CatFaaS, "relaunch",
-			ckptStart, e.sup.Clock.Now(), trace.Int("gen", e.supGen), trace.Str("cause", "limit"))
-	}
-	return nil
-}
-
-// recoverSup is recoverWorker for the supervisor. Its state (loss
-// history and tuner counters) is small, so the restart cost is the boot
-// plus a checkpoint-sized read.
-func (e *engine) recoverSup() error {
-	deadAt := e.sup.ReclaimAt
-	mem := e.sup.MemoryMiB
-	if err := e.cl.Platform.Reclaim(e.sup, &e.meter); err != nil {
-		return fmt.Errorf("core: reclaim supervisor: %w", err)
-	}
-	e.supGen++
-	sup, err := e.invokeAt(e.supName(), mem, deadAt, true)
-	if err != nil {
-		return fmt.Errorf("core: recover supervisor: %w", err)
-	}
-	e.sup = sup
-	e.traceBoot(sup, supTrack)
-	e.sup.Clock.Advance(e.cl.Redis.TransferTime(24*len(e.history) + 1024))
-	e.recMu.Lock()
-	e.recovery.WorkerDeaths++
-	e.recovery.RestartTime += e.sup.Clock.Now() - deadAt
-	e.recMu.Unlock()
-	if e.tr.Enabled() {
-		e.tr.SpanOn(supTrack, trace.CatFaaS, "relaunch", deadAt, e.sup.Clock.Now(),
-			trace.Int("gen", e.supGen), trace.Str("cause", "reclaim"))
-		e.tr.SpanOn(supTrack, trace.CatFault, "recover", deadAt, e.sup.Clock.Now(),
-			trace.Int("gen", e.supGen))
-	}
-	return nil
-}
-
-// phaseA is one worker's compute-and-publish half of a BSP step.
-func (e *engine) phaseA(w *workerState, step, pActive int) error {
-	// A container can die while parked at the previous barrier; replace
-	// it before the step so no work is charged to a dead instance. The
-	// replacement rejoins at the barrier the pool last crossed.
-	if dead(w.inst) {
-		if err := e.recoverWorker(w); err != nil {
-			return err
-		}
-		w.inst.Clock.AdvanceTo(e.prevBarrier)
-	}
-	if err := e.maybeRelaunch(w); err != nil {
-		return err
-	}
-	clk := &w.inst.Clock
-	segStart := clk.Now()
-	traced := e.tr.Enabled()
-
-	// Reintegrate an evicted peer's replica (§4.2, eviction policy).
-	if w.pendingMerge != "" {
-		mergeStart := clk.Now()
-		if buf, ok := e.cl.Redis.Get(clk, w.pendingMerge); ok {
-			replica, err := sparse.DecodeDense(buf)
-			if err != nil {
-				return fmt.Errorf("core: worker %d: decode eviction replica: %w", w.id, err)
-			}
-			w.model.Params().Average(replica)
-			e.chargeCompute(w, 2*float64(len(replica)))
-		}
-		w.pendingMerge = ""
-		if traced {
-			e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "merge",
-				mergeStart, clk.Now(), trace.Int("step", step))
-		}
-	}
-
-	// Fetch this step's mini-batch from object storage (§3.2).
-	fetchStart := clk.Now()
-	batchIdx := e.plan.BatchFor(w.id, step)
-	batch, err := e.batches.Fetch(clk, batchIdx)
-	if err != nil {
-		return fmt.Errorf("core: worker %d step %d: %w", w.id, step, err)
-	}
-	if traced {
-		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "fetch",
-			fetchStart, clk.Now(), trace.Int("step", step), trace.Int("batch", batchIdx))
-	}
-
-	// Local loss and gradient (real math, virtual time).
-	computeStart := clk.Now()
-	loss := w.model.Loss(batch)
-	grad := w.model.Gradient(batch)
-	e.chargeCompute(w, 1.5*w.model.GradientWork(len(batch)))
-
-	// The provider may have reclaimed the container mid-segment: the
-	// work charged past the reclaim point died with it and is redone on
-	// a replacement. The tail below (optimizer, filter, publish) is
-	// treated as atomic — once the update is published the step's output
-	// is durable, and a death there surfaces at the next phase boundary
-	// with nothing left to redo.
-	if err := e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("step %d compute", step)); err != nil {
-		return err
-	}
-	clk = &w.inst.Clock
-
-	// Optimizer transform, averaged across the active pool: the global
-	// update is the mean of local updates (§3.2, "local gradients are
-	// averaged to obtain a global gradient update").
-	u := w.opt.Step(step, grad)
-	u.Scale(1 / float64(pActive))
-	w.model.ApplyUpdate(u)
-	e.chargeCompute(w, 2*float64(u.Len()))
-
-	// Significance filter, then publish the significant part.
-	sig := w.filter.Add(step, u, w.model.Params())
-	e.chargeCompute(w, 2*float64(sig.Len()))
-	publishStart := clk.Now()
-	if traced {
-		// The compute span covers gradient, optimizer and filter work —
-		// and, on a reclaimed container, the recovery in between, which
-		// the overlapping fault spans itemize.
-		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "compute",
-			computeStart, publishStart, trace.Int("step", step))
-	}
-	payload := sig.Encode()
-	e.cl.Redis.Set(clk, e.updKey(step, w.id), payload)
-
-	// Announce availability and report the loss.
-	if err := e.cl.Broker.PublishFanout(clk, e.annExchange(),
-		announce{Worker: uint32(w.id), Step: uint32(step), Bytes: uint32(len(payload))}.encode()); err != nil {
-		return fmt.Errorf("core: worker %d: announce: %w", w.id, err)
-	}
-	if err := e.cl.Broker.Publish(clk, e.lossQueue(),
-		lossReport{Worker: uint32(w.id), Step: uint32(step), Loss: loss, UpdateBytes: uint32(len(payload))}.encode()); err != nil {
-		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
-	}
-	if traced {
-		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "publish",
-			publishStart, clk.Now(), trace.Int("step", step), trace.Int("bytes", len(payload)))
-	}
-	w.lastLoss = loss
-	return nil
-}
-
-// phaseB is one worker's pull-and-merge half: fetch every peer's
-// published update from the KV store and apply it (§3.2: "each worker
-// independently of the others pulls from external storage all the local
-// updates, and aggregates them"). Under SSP (Staleness > 1) a sync point
-// pulls every step in (fromStep, toStep]; under per-step BSP/ISP the
-// window is a single step.
-func (e *engine) phaseB(w *workerState, fromStep, toStep int, active []*workerState) error {
-	// Replace a container that died after publishing; its step output is
-	// durable in the KV store and broker, so nothing is redone.
-	if dead(w.inst) {
-		if err := e.recoverWorker(w); err != nil {
-			return err
-		}
-	}
-	clk := &w.inst.Clock
-	segStart := clk.Now()
-
-	// Drain availability announcements.
-	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
-	for _, m := range msgs {
-		if _, err := decodeAnnounce(m); err != nil {
-			return fmt.Errorf("core: worker %d: %w", w.id, err)
-		}
-	}
-
-	keys := make([]string, 0, (len(active)-1)*(toStep-fromStep))
-	for _, p := range active {
-		if p.id != w.id {
-			for s := fromStep + 1; s <= toStep; s++ {
-				keys = append(keys, e.updKey(s, p.id))
-			}
-		}
-	}
-	vals := e.cl.Redis.MGetView(clk, keys)
-	applied := 0
-	for i, buf := range vals {
-		if buf == nil {
-			return fmt.Errorf("core: worker %d sync at step %d: missing peer update %s", w.id, toStep, keys[i])
-		}
-		// Stream the encoded update straight into the replica's dense
-		// parameters — equivalent to decode + ApplyUpdate, without the
-		// intermediate map.
-		n, err := sparse.AddEncoded(w.model.Params(), buf)
-		if err != nil {
-			return fmt.Errorf("core: worker %d sync at step %d: %w", w.id, toStep, err)
-		}
-		applied += n
-	}
-	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
-	e.chargeCompute(w, 4*float64(applied))
-	if e.tr.Enabled() {
-		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "pull",
-			segStart, w.inst.Clock.Now(), trace.Int("step", toStep))
-	}
-	// A death mid-pull loses the fetched-but-unapplied updates; the
-	// replacement redoes the pull (same data, time recharged).
-	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("sync at step %d", toStep))
-}
-
-// runPhase executes fn for every active worker concurrently (workers are
-// independent within a phase; the shared services are thread-safe) and
-// returns the first error by worker id, for determinism.
-func runPhase(active []*workerState, fn func(w *workerState) error) error {
-	errs := make([]error, len(active))
-	var wg sync.WaitGroup
-	for i, w := range active {
-		wg.Add(1)
-		go func(i int, w *workerState) {
-			defer wg.Done()
-			errs[i] = fn(w)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (e *engine) loop() (*Result, error) {
-	spec := e.job.Spec
-	converged := false
-	diverged := false
-	lastSync := 0
-	bestLoss := math.Inf(1)
-	sinceImproved := 0
-
-	for step := 1; step <= spec.MaxSteps; step++ {
-		active := e.active()
-		pActive := len(active)
-		// Under SSP (Staleness > 1) workers run ahead between sync
-		// points; pulls and barriers happen every Staleness steps.
-		syncStep := spec.Staleness <= 1 || step%spec.Staleness == 0 || step == spec.MaxSteps
-
-		// Eviction replicas published at the previous sync point are
-		// merged by every survivor during this phase A; afterwards the
-		// keys expire (server-side TTL, no client time).
-		expireEvict := e.evictExpire
-		e.evictExpire = nil
-
-		if err := runPhase(active, func(w *workerState) error {
-			return e.phaseA(w, step, pActive)
-		}); err != nil {
-			return nil, err
-		}
-		if len(expireEvict) > 0 {
-			var janitor vclock.Clock
-			for _, k := range expireEvict {
-				e.cl.Redis.Delete(&janitor, k)
-			}
-		}
-
-		if syncStep {
-			if err := runPhase(active, func(w *workerState) error {
-				return e.phaseB(w, lastSync, step, active)
-			}); err != nil {
-				return nil, err
-			}
-		}
-		// Build the clock list only now: recoveries may have replaced
-		// instances (and therefore clocks) during either phase.
-		clocks := make([]*vclock.Clock, len(active))
-		for i, w := range active {
-			clocks[i] = &w.inst.Clock
-		}
-		var barrier time.Duration
-		if syncStep {
-			if e.tr.Enabled() {
-				// Record each worker's barrier wait before reconciling:
-				// the gap to the pool maximum is exactly what Barrier
-				// will charge it.
-				max := vclock.Max(clocks)
-				for i, w := range active {
-					e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "barrier",
-						clocks[i].Now(), max, trace.Int("step", step))
-				}
-			}
-			// BSP barrier (§3.1): the slowest worker paces the step.
-			barrier = vclock.Barrier(clocks)
-			for s := lastSync + 1; s <= step; s++ {
-				e.expireStep(s, active)
-			}
-			lastSync = step
-		} else {
-			barrier = vclock.Max(clocks)
-		}
-		stepDur := barrier - e.prevBarrier
-		if stepDur < 0 {
-			// Under SSP a recovered worker can rejoin behind the previous
-			// maximum; the horizon estimate must stay non-negative.
-			stepDur = 0
-		}
-		e.prevBarrier = barrier
-		e.lastStepDur = stepDur
-
-		// Enforce the platform execution cap (§2). Relaunching normally
-		// keeps instances clear of it; a single step too long to fit the
-		// remaining budget cannot be split, so it surfaces as
-		// faas.ErrOverLimit instead of silently overrunning.
-		cfg := e.cl.Platform.Config()
-		for _, w := range active {
-			if dead(w.inst) {
-				continue // replaced with a fresh instance at the next phase
-			}
-			if err := w.inst.CheckLimit(cfg); err != nil {
-				return nil, fmt.Errorf("core: step %d: %w", step, err)
-			}
-		}
-
-		// Supervisor: aggregate the loss reports.
-		e.sup.Clock.AdvanceTo(barrier)
-		for deaths := 0; dead(e.sup); {
-			if deaths++; deaths > maxConsecutiveDeaths {
-				return nil, fmt.Errorf("core: supervisor: %d consecutive reclamations: %w",
-					deaths-1, faults.ErrInjected)
-			}
-			if err := e.recoverSup(); err != nil {
-				return nil, err
-			}
-			e.sup.Clock.AdvanceTo(barrier)
-		}
-		if err := e.maybeRelaunchSup(); err != nil {
-			return nil, err
-		}
-		if err := e.sup.CheckLimit(cfg); err != nil {
-			return nil, fmt.Errorf("core: step %d: %w", step, err)
-		}
-		raw, updateBytes, err := e.aggregateReports(pActive)
-		if err != nil {
-			return nil, err
-		}
-		if e.tr.Enabled() {
-			e.tr.SpanOn(supTrack, trace.CatEngine, "aggregate",
-				barrier, e.sup.Clock.Now(), trace.Int("step", step))
-		}
-		smoothed := e.smoother.Update(raw)
-		e.totalUpdateBytes += updateBytes
-		e.history = append(e.history, LossPoint{
-			Step: step, Time: barrier, Loss: smoothed, RawLoss: raw,
-			Workers: pActive, UpdateBytes: updateBytes, Duration: stepDur,
-		})
-
-		// Stop criteria.
-		if math.IsNaN(raw) || math.IsInf(raw, 0) {
-			diverged = true
-			break
-		}
-		if spec.TargetLoss > 0 && smoothed <= spec.TargetLoss {
-			converged = true
-			break
-		}
-		if spec.MaxWallClock > 0 && barrier >= spec.MaxWallClock {
-			break
-		}
-		if spec.Patience > 0 {
-			// Only meaningful progress resets the counter: at least 0.1%
-			// relative improvement over the best loss seen.
-			const minRelImprovement = 1e-3
-			if smoothed < bestLoss*(1-minRelImprovement) {
-				bestLoss = smoothed
-				sinceImproved = 0
-			} else if sinceImproved++; sinceImproved >= spec.Patience {
-				converged = true
-				break
-			}
-		}
-
-		// Scale-in auto-tuner (§4.2), run by the supervisor. Evictions
-		// only happen at sync points so no published-but-unpulled update
-		// is lost under SSP.
-		if e.tuner != nil {
-			e.tuner.Observe(step, smoothed, stepDur)
-			if syncStep {
-				d := e.tuner.Decide(e.sup.Clock.Now(), step, pActive)
-				if d.Remove && pActive > e.tuner.Config().MinWorkers {
-					if err := e.evictOne(step, barrier, active); err != nil {
-						return nil, err
-					}
-					e.tuner.NotifyRemoval(step)
-				}
-			}
-		}
-	}
-
-	return e.teardown(converged, diverged, lastSync)
-}
-
-// aggregateReports drains the loss queue and averages worker losses in
-// worker-id order (deterministic float summation).
-func (e *engine) aggregateReports(expect int) (avgLoss float64, updateBytes int64, err error) {
-	msgs := e.cl.Broker.ConsumeAll(&e.sup.Clock, e.lossQueue())
-	reports := make([]lossReport, 0, len(msgs))
-	for _, m := range msgs {
-		r, err := decodeLossReport(m)
-		if err != nil {
-			return 0, 0, err
-		}
-		reports = append(reports, r)
-	}
-	if len(reports) != expect {
-		return 0, 0, fmt.Errorf("core: supervisor got %d loss reports, want %d", len(reports), expect)
-	}
-	sort.Slice(reports, func(i, j int) bool { return reports[i].Worker < reports[j].Worker })
-	sum := 0.0
-	for _, r := range reports {
-		sum += r.Loss
-		updateBytes += int64(r.UpdateBytes)
-	}
-	return sum / float64(len(reports)), updateBytes, nil
-}
-
-// evictOne removes the worker with the lowest-quality replica (highest
-// recent loss). Under ISP the leaving worker parks its replica in the KV
-// store for the survivors to average in (§4.2, eviction policy).
-func (e *engine) evictOne(step int, now time.Duration, active []*workerState) error {
-	victim := active[0]
-	for _, w := range active[1:] {
-		if w.lastLoss > victim.lastLoss {
-			victim = w
-		}
-	}
-	if victim.filter.BaseThreshold() > 0 && !e.job.Spec.NoEvictionMerge {
-		payload := victim.model.Params().Encode()
-		e.cl.Redis.Set(&victim.inst.Clock, e.evictKey(victim.id), payload)
-		for _, w := range active {
-			if w.id != victim.id {
-				w.pendingMerge = e.evictKey(victim.id)
-			}
-		}
-		// The replica key expires once every survivor has merged it (at
-		// the end of the next phase A).
-		e.evictExpire = append(e.evictExpire, e.evictKey(victim.id))
-	}
-	// A victim whose container died between the barrier and the eviction
-	// order still parks its replica (the engine holds the state; only
-	// billing differs, capped at the reclaim point).
-	if dead(victim.inst) {
-		if err := e.cl.Platform.Reclaim(victim.inst, &e.meter); err != nil {
-			return fmt.Errorf("core: evict worker %d: %w", victim.id, err)
-		}
-	} else if err := e.cl.Platform.TerminateInto(victim.inst, &e.meter); err != nil {
-		return fmt.Errorf("core: evict worker %d: %w", victim.id, err)
-	}
-	e.cl.Broker.Unbind(e.annExchange(), e.annQueue(victim.id))
-	e.cl.Broker.DeleteQueue(e.annQueue(victim.id))
-	victim.alive = false
-	e.removals = append(e.removals, Removal{
-		Step: step, Time: now, Worker: victim.id, WorkersLeft: len(active) - 1,
-	})
-	if e.tr.Enabled() {
-		e.tr.InstantOn(supTrack, trace.CatSched, "evict", now,
-			trace.Int("step", step), trace.Int("worker", victim.id),
-			trace.Int("workers_left", len(active)-1))
-	}
-	return nil
-}
-
 // expireStep emulates Redis key TTL expiry for a completed step's update
 // keys; expiry costs no client time.
-func (e *engine) expireStep(step int, active []*workerState) {
+func (e *engine) expireStep(step int, active []*Worker) {
 	var janitor vclock.Clock
 	for _, w := range active {
 		e.cl.Redis.Delete(&janitor, e.updKey(step, w.id))

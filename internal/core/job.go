@@ -22,13 +22,18 @@ var (
 	// ErrModelTooLarge reports a model replica that cannot fit in a
 	// worker's function memory.
 	ErrModelTooLarge = errors.New("core: model replica exceeds function memory")
+	// ErrAsyncAutoTune reports a job combining the async schedule with
+	// the scale-in auto-tuner, whose evictions assume sync points.
+	ErrAsyncAutoTune = errors.New("core: the scale-in auto-tuner requires a lock-step schedule")
 )
 
 // Spec is the tunable configuration of a training job.
 type Spec struct {
 	// Workers is the initial worker count P.
 	Workers int
-	// Sync selects BSP or ISP (§3.1, §4.1).
+	// Sync selects the synchronization model: BSP or ISP (§3.1, §4.1)
+	// drive workers in lock step; Async (journal MLLess) removes the
+	// global barrier and bounds replica drift by Staleness.
 	Sync consistency.Mode
 	// Significance is the ISP base threshold v (ignored under BSP).
 	Significance float64
@@ -55,7 +60,10 @@ type Spec struct {
 	// enough to integrate" (§3.1): workers synchronize (pull peer
 	// updates and barrier) every Staleness steps instead of every step,
 	// bounding replica divergence by the staleness window. 0 or 1 keeps
-	// the paper's per-step synchronization.
+	// the paper's per-step synchronization. Under Sync == Async it is
+	// the staleness cap K instead: a worker may run at most K steps
+	// ahead of the slowest peer (K = 1 reproduces BSP's update
+	// sequence without its barriers).
 	Staleness int
 	// FilterVariant selects the significance-filter design for the
 	// ablation benches; the zero value is the paper's
@@ -134,6 +142,9 @@ func (j Job) validate(memoryMiB int) error {
 	}
 	if j.Optimizer == nil {
 		return errors.New("core: job has no optimizer")
+	}
+	if j.Spec.Sync == consistency.Async && j.Spec.AutoTune {
+		return ErrAsyncAutoTune
 	}
 	// A replica must fit beside optimizer state and a mini-batch in
 	// function memory: ~8 bytes/param for the model plus ~16 for

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file is the engine's wire protocol: the KV-store key namespace a
+// job allocates and the control messages workers and supervisor exchange
+// through the messaging service. Everything a packet sniffer (or the
+// janitor at teardown) would need to know about a run lives here.
+
+func (e *engine) updKey(step, worker int) string {
+	return fmt.Sprintf("%s/upd/%d/%d", e.id, step, worker)
+}
+func (e *engine) evictKey(worker int) string {
+	return fmt.Sprintf("%s/evict/%d", e.id, worker)
+}
+func (e *engine) ckptKey(worker int) string {
+	return fmt.Sprintf("%s/ckpt/%d", e.id, worker)
+}
+func (e *engine) supCkptKey() string         { return e.id + "/sup-ckpt" }
+func (e *engine) lossQueue() string          { return e.id + "/losses" }
+func (e *engine) annExchange() string        { return e.id + "/ann" }
+func (e *engine) annQueue(worker int) string { return fmt.Sprintf("%s/ann/%d", e.id, worker) }
+
+// workerName labels a worker's function for billing. Each relaunch or
+// recovery generation gets a distinct suffix so re-launched runs never
+// collide on a billing label.
+func (e *engine) workerName(id, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("%s/worker-%d", e.id, id)
+	}
+	return fmt.Sprintf("%s/worker-%d-r%d", e.id, id, gen)
+}
+
+// supName is workerName for the supervisor.
+func (e *engine) supName() string {
+	if e.supGen == 0 {
+		return e.id + "/supervisor"
+	}
+	return fmt.Sprintf("%s/supervisor-r%d", e.id, e.supGen)
+}
+
+// workerTrack names a worker's trace track; unlike billing labels it is
+// stable across relaunch generations, so one worker is one timeline.
+func workerTrack(id int) string { return fmt.Sprintf("worker-%d", id) }
+
+// supTrack is the supervisor's trace track.
+const supTrack = "supervisor"
+
+// lossReport is the control message each worker sends the supervisor at
+// every step (§3.1: the supervisor "collect[s] and aggregate[s]
+// statistics").
+type lossReport struct {
+	Worker      uint32
+	Step        uint32
+	Loss        float64
+	UpdateBytes uint32
+}
+
+const lossReportSize = 4 + 4 + 8 + 4
+
+func (r lossReport) encode() []byte {
+	buf := make([]byte, lossReportSize)
+	binary.LittleEndian.PutUint32(buf[0:], r.Worker)
+	binary.LittleEndian.PutUint32(buf[4:], r.Step)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Loss))
+	binary.LittleEndian.PutUint32(buf[16:], r.UpdateBytes)
+	return buf
+}
+
+func decodeLossReport(buf []byte) (lossReport, error) {
+	if len(buf) != lossReportSize {
+		return lossReport{}, fmt.Errorf("core: loss report of %d bytes, want %d", len(buf), lossReportSize)
+	}
+	return lossReport{
+		Worker:      binary.LittleEndian.Uint32(buf[0:]),
+		Step:        binary.LittleEndian.Uint32(buf[4:]),
+		Loss:        math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		UpdateBytes: binary.LittleEndian.Uint32(buf[16:]),
+	}, nil
+}
+
+// announce is the update-availability message workers fan out to each
+// other through the messaging service (§3.2: "The availability of a
+// local update is announced to the rest of workers through the messaging
+// service"). The lock-step schedules use this compact form; its size is
+// part of the pinned byte-identical traces and must not change.
+type announce struct {
+	Worker uint32
+	Step   uint32
+	Bytes  uint32
+}
+
+const announceSize = 4 + 4 + 4
+
+func (a announce) encode() []byte {
+	buf := make([]byte, announceSize)
+	binary.LittleEndian.PutUint32(buf[0:], a.Worker)
+	binary.LittleEndian.PutUint32(buf[4:], a.Step)
+	binary.LittleEndian.PutUint32(buf[8:], a.Bytes)
+	return buf
+}
+
+func decodeAnnounce(buf []byte) (announce, error) {
+	if len(buf) != announceSize {
+		return announce{}, fmt.Errorf("core: announce of %d bytes, want %d", len(buf), announceSize)
+	}
+	return announce{
+		Worker: binary.LittleEndian.Uint32(buf[0:]),
+		Step:   binary.LittleEndian.Uint32(buf[4:]),
+		Bytes:  binary.LittleEndian.Uint32(buf[8:]),
+	}, nil
+}
+
+// asyncAnnounce is the announce variant the Async schedule fans out: it
+// adds the publish instant, which a puller running behind the publisher
+// must wait for before the update is visible. Lock-step runs never emit
+// it, so the extra bytes cannot perturb the pinned traces.
+type asyncAnnounce struct {
+	Worker uint32
+	Step   uint32
+	Bytes  uint32
+	At     time.Duration
+}
+
+const asyncAnnounceSize = announceSize + 8
+
+func (a asyncAnnounce) encode() []byte {
+	buf := make([]byte, asyncAnnounceSize)
+	binary.LittleEndian.PutUint32(buf[0:], a.Worker)
+	binary.LittleEndian.PutUint32(buf[4:], a.Step)
+	binary.LittleEndian.PutUint32(buf[8:], a.Bytes)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(a.At))
+	return buf
+}
+
+func decodeAsyncAnnounce(buf []byte) (asyncAnnounce, error) {
+	if len(buf) != asyncAnnounceSize {
+		return asyncAnnounce{}, fmt.Errorf("core: async announce of %d bytes, want %d", len(buf), asyncAnnounceSize)
+	}
+	return asyncAnnounce{
+		Worker: binary.LittleEndian.Uint32(buf[0:]),
+		Step:   binary.LittleEndian.Uint32(buf[4:]),
+		Bytes:  binary.LittleEndian.Uint32(buf[8:]),
+		At:     time.Duration(binary.LittleEndian.Uint64(buf[12:])),
+	}, nil
+}

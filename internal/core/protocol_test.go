@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLossReportRoundTrip(t *testing.T) {
+	r := lossReport{Worker: 7, Step: 42, Loss: 0.731, UpdateBytes: 1234}
+	got, err := decodeLossReport(r.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestLossReportBadLength(t *testing.T) {
+	if _, err := decodeLossReport([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short loss report accepted")
+	}
+	r := lossReport{Worker: 1}
+	if _, err := decodeLossReport(append(r.encode(), 0)); err == nil {
+		t.Fatal("long loss report accepted")
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	a := announce{Worker: 3, Step: 9, Bytes: 512}
+	got, err := decodeAnnounce(a.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestAnnounceBadLength(t *testing.T) {
+	if _, err := decodeAnnounce(nil); err == nil {
+		t.Fatal("nil announce accepted")
+	}
+	a := announce{}
+	if _, err := decodeAnnounce(a.encode()[:announceSize-1]); err == nil {
+		t.Fatal("short announce accepted")
+	}
+}
+
+func TestAnnounceSizePinned(t *testing.T) {
+	// The lock-step announce is part of the byte-identical pinned traces:
+	// its wire size feeds the broker's transfer-time model, so growing it
+	// would shift every traced timestamp.
+	if n := len(announce{}.encode()); n != 12 {
+		t.Fatalf("lock-step announce is %d bytes, pinned at 12", n)
+	}
+}
+
+func TestAsyncAnnounceRoundTrip(t *testing.T) {
+	a := asyncAnnounce{Worker: 3, Step: 9, Bytes: 512, At: 1500 * time.Millisecond}
+	got, err := decodeAsyncAnnounce(a.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestAsyncAnnounceBadLength(t *testing.T) {
+	if _, err := decodeAsyncAnnounce(nil); err == nil {
+		t.Fatal("nil async announce accepted")
+	}
+	a := asyncAnnounce{}
+	if _, err := decodeAsyncAnnounce(a.encode()[:asyncAnnounceSize-1]); err == nil {
+		t.Fatal("short async announce accepted")
+	}
+	// The two announce forms must never be confusable on the wire.
+	if _, err := decodeAsyncAnnounce(announce{}.encode()); err == nil {
+		t.Fatal("lock-step announce decoded as async announce")
+	}
+	if _, err := decodeAnnounce(a.encode()); err == nil {
+		t.Fatal("async announce decoded as lock-step announce")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdvanceStepClampsNegative(t *testing.T) {
+	// Under SSP a worker recovered mid-window can rejoin behind the
+	// previous reconciliation instant, making the raw step difference
+	// negative. The horizon estimate feeding relaunchHorizon must clamp
+	// to zero instead of going backwards in time.
+	e := &engine{}
+	if d := e.advanceStep(5 * time.Second); d != 5*time.Second {
+		t.Fatalf("first step duration %v, want 5s", d)
+	}
+	if d := e.advanceStep(3 * time.Second); d != 0 {
+		t.Fatalf("regressed reconciliation instant produced duration %v, want 0", d)
+	}
+	if e.prevBarrier != 3*time.Second {
+		t.Fatalf("prevBarrier %v after regression, want 3s", e.prevBarrier)
+	}
+	if e.lastStepDur != 0 {
+		t.Fatalf("lastStepDur %v after regression, want 0", e.lastStepDur)
+	}
+	// The estimate recovers as soon as time moves forward again.
+	if d := e.advanceStep(4 * time.Second); d != time.Second {
+		t.Fatalf("post-regression step duration %v, want 1s", d)
+	}
+}
+
+func TestSSPRecoveryKeepsDurationsNonNegative(t *testing.T) {
+	// The integration side of the clamp: an SSP window (Staleness 4) with
+	// short-lived containers forces recoveries that rejoin behind the
+	// pool, and every recorded step duration must still be non-negative.
+	cl, job := testPMFJob(t, 4, Spec{MaxSteps: 120, Staleness: 4})
+	job.Spec.Faults = chaosSpec(7)
+	job.Spec.Faults.ReclaimProb = 0.9
+	job.Spec.Faults.ReclaimMeanLife = 2 * time.Second
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.WorkerDeaths == 0 {
+		t.Fatalf("no deaths injected; the run exercises nothing (faults: %+v)", res.Faults)
+	}
+	for _, p := range res.History {
+		if p.Duration < 0 {
+			t.Fatalf("negative step duration at step %d: %v", p.Step, p.Duration)
+		}
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps completed")
+	}
+	if cl.Redis.Len() != 0 {
+		t.Fatalf("SSP run left %d keys in the store", cl.Redis.Len())
+	}
+}

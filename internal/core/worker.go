@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlless/internal/consistency"
+	"mlless/internal/dataset"
+	"mlless/internal/faas"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/sparse"
+	"mlless/internal/trace"
+)
+
+// Worker is one serverless worker: its function instance, its local
+// model replica, optimizer and significance filter (§3.1).
+type Worker struct {
+	id     int
+	inst   *faas.Instance
+	model  model.Model
+	opt    optimizer.Optimizer
+	filter *consistency.Filter
+
+	lastLoss     float64
+	pendingMerge string // eviction-replica key to average in next step
+	alive        bool
+	gen          int // relaunch/recovery generation; distinguishes billing labels
+}
+
+// stepState enumerates the per-step state machine every worker runs:
+// recover → merge → fetch → compute → publish → pull. The lock-step
+// schedules split one pass into a compute half (recover..publish) and a
+// pull half gated by the barrier; the async schedule runs pull at the
+// head of the next pass instead, driven by announcements.
+type stepState int
+
+const (
+	stateRecover stepState = iota
+	stateMerge
+	stateFetch
+	stateCompute
+	statePublish
+	statePull
+)
+
+// stepCtx carries one worker's pass through the state machine: the step
+// being executed, the recovery policy of the leading recover state, the
+// pull window, and the intermediate values the states hand each other.
+type stepCtx struct {
+	step    int
+	pActive int
+
+	// rejoinAt is where a worker recovered at the head of the pass
+	// resumes (the pool's last barrier under lock-step; zero means "where
+	// recovery left it"). relaunch additionally runs the
+	// execution-limit checkpoint/re-launch check.
+	rejoinAt time.Duration
+	relaunch bool
+
+	// Pull window (statePull): peer updates in (fromStep, toStep] from
+	// every worker in active.
+	fromStep, toStep int
+	active           []*Worker
+
+	segStart     time.Duration
+	batch        []dataset.Sample
+	loss         float64
+	upd          *sparse.Vector
+	computeStart time.Duration
+}
+
+// runStates drives a worker through the given states in order.
+func (e *engine) runStates(w *Worker, c *stepCtx, states ...stepState) error {
+	for _, s := range states {
+		var err error
+		switch s {
+		case stateRecover:
+			err = e.stepRecover(w, c)
+		case stateMerge:
+			err = e.stepMerge(w, c)
+		case stateFetch:
+			err = e.stepFetch(w, c)
+		case stateCompute:
+			err = e.stepCompute(w, c)
+		case statePublish:
+			err = e.stepPublish(w, c)
+		case statePull:
+			err = e.stepPull(w, c)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepRecover replaces a worker whose container died between passes, so
+// no work is charged to a dead instance. Under lock-step the replacement
+// rejoins at the barrier the pool last crossed (c.rejoinAt); a step
+// output already published is durable, so nothing is redone. When
+// c.relaunch is set it also checkpoints and re-launches a worker
+// approaching the platform's execution limit.
+func (e *engine) stepRecover(w *Worker, c *stepCtx) error {
+	if dead(w.inst) {
+		if err := e.recoverWorker(w); err != nil {
+			return err
+		}
+		w.inst.Clock.AdvanceTo(c.rejoinAt)
+	}
+	if c.relaunch {
+		if err := e.maybeRelaunch(w); err != nil {
+			return err
+		}
+	}
+	c.segStart = w.inst.Clock.Now()
+	return nil
+}
+
+// stepMerge reintegrates an evicted peer's replica (§4.2, eviction
+// policy).
+func (e *engine) stepMerge(w *Worker, c *stepCtx) error {
+	if w.pendingMerge == "" {
+		return nil
+	}
+	clk := &w.inst.Clock
+	mergeStart := clk.Now()
+	if buf, ok := e.cl.Redis.Get(clk, w.pendingMerge); ok {
+		replica, err := sparse.DecodeDense(buf)
+		if err != nil {
+			return fmt.Errorf("core: worker %d: decode eviction replica: %w", w.id, err)
+		}
+		w.model.Params().Average(replica)
+		e.chargeCompute(w, 2*float64(len(replica)))
+	}
+	w.pendingMerge = ""
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "merge",
+			mergeStart, clk.Now(), trace.Int("step", c.step))
+	}
+	return nil
+}
+
+// stepFetch pulls this step's mini-batch from object storage (§3.2).
+func (e *engine) stepFetch(w *Worker, c *stepCtx) error {
+	clk := &w.inst.Clock
+	fetchStart := clk.Now()
+	batchIdx := e.plan.BatchFor(w.id, c.step)
+	batch, err := e.batches.Fetch(clk, batchIdx)
+	if err != nil {
+		return fmt.Errorf("core: worker %d step %d: %w", w.id, c.step, err)
+	}
+	c.batch = batch
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "fetch",
+			fetchStart, clk.Now(), trace.Int("step", c.step), trace.Int("batch", batchIdx))
+	}
+	return nil
+}
+
+// stepCompute runs the local loss and gradient (real math, virtual
+// time), redoes the segment if the container died mid-compute, and
+// applies the pool-averaged optimizer update to the local replica.
+func (e *engine) stepCompute(w *Worker, c *stepCtx) error {
+	clk := &w.inst.Clock
+	c.computeStart = clk.Now()
+	c.loss = w.model.Loss(c.batch)
+	grad := w.model.Gradient(c.batch)
+	e.chargeCompute(w, 1.5*w.model.GradientWork(len(c.batch)))
+
+	// The provider may have reclaimed the container mid-segment: the
+	// work charged past the reclaim point died with it and is redone on
+	// a replacement. The tail below (optimizer, filter, publish) is
+	// treated as atomic — once the update is published the step's output
+	// is durable, and a death there surfaces at the next phase boundary
+	// with nothing left to redo.
+	if err := e.redoSegmentOnDeath(w, c.segStart, fmt.Sprintf("step %d compute", c.step)); err != nil {
+		return err
+	}
+
+	// Optimizer transform, averaged across the active pool: the global
+	// update is the mean of local updates (§3.2, "local gradients are
+	// averaged to obtain a global gradient update").
+	u := w.opt.Step(c.step, grad)
+	u.Scale(1 / float64(c.pActive))
+	w.model.ApplyUpdate(u)
+	e.chargeCompute(w, 2*float64(u.Len()))
+	c.upd = u
+	return nil
+}
+
+// stepPublish filters the update for significance, parks the significant
+// part in the KV store, announces its availability and reports the loss.
+func (e *engine) stepPublish(w *Worker, c *stepCtx) error {
+	sig := w.filter.Add(c.step, c.upd, w.model.Params())
+	e.chargeCompute(w, 2*float64(sig.Len()))
+	clk := &w.inst.Clock
+	publishStart := clk.Now()
+	if e.tr.Enabled() {
+		// The compute span covers gradient, optimizer and filter work —
+		// and, on a reclaimed container, the recovery in between, which
+		// the overlapping fault spans itemize.
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "compute",
+			c.computeStart, publishStart, trace.Int("step", c.step))
+	}
+	payload := sig.Encode()
+	e.cl.Redis.Set(clk, e.updKey(c.step, w.id), payload)
+
+	var ann []byte
+	if e.job.Spec.Sync == consistency.Async {
+		ann = asyncAnnounce{Worker: uint32(w.id), Step: uint32(c.step),
+			Bytes: uint32(len(payload)), At: clk.Now()}.encode()
+	} else {
+		ann = announce{Worker: uint32(w.id), Step: uint32(c.step), Bytes: uint32(len(payload))}.encode()
+	}
+	if err := e.cl.Broker.PublishFanout(clk, e.annExchange(), ann); err != nil {
+		return fmt.Errorf("core: worker %d: announce: %w", w.id, err)
+	}
+	if err := e.cl.Broker.Publish(clk, e.lossQueue(),
+		lossReport{Worker: uint32(w.id), Step: uint32(c.step), Loss: c.loss, UpdateBytes: uint32(len(payload))}.encode()); err != nil {
+		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
+	}
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "publish",
+			publishStart, clk.Now(), trace.Int("step", c.step), trace.Int("bytes", len(payload)))
+	}
+	w.lastLoss = c.loss
+	return nil
+}
+
+// stepPull is a worker's pull-and-merge half under lock-step: fetch
+// every peer's published update from the KV store and apply it (§3.2:
+// "each worker independently of the others pulls from external storage
+// all the local updates, and aggregates them"). Under SSP (Staleness >
+// 1) a sync point pulls every step in (fromStep, toStep]; under per-step
+// BSP/ISP the window is a single step.
+func (e *engine) stepPull(w *Worker, c *stepCtx) error {
+	clk := &w.inst.Clock
+	segStart := c.segStart
+
+	// Drain availability announcements; they identify exactly which keys
+	// the peers have published this window.
+	announced := make(map[string]bool)
+	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
+	for _, m := range msgs {
+		a, err := decodeAnnounce(m)
+		if err != nil {
+			return fmt.Errorf("core: worker %d: %w", w.id, err)
+		}
+		announced[e.updKey(int(a.Step), int(a.Worker))] = true
+	}
+
+	keys := make([]string, 0, (len(c.active)-1)*(c.toStep-c.fromStep))
+	for _, p := range c.active {
+		if p.id != w.id {
+			for s := c.fromStep + 1; s <= c.toStep; s++ {
+				keys = append(keys, e.updKey(s, p.id))
+			}
+		}
+	}
+	vals := e.cl.Redis.MGetView(clk, keys)
+	applied := 0
+	for i, buf := range vals {
+		if buf == nil {
+			return fmt.Errorf("core: worker %d sync at step %d: missing peer update %s (announced: %s)",
+				w.id, c.toStep, keys[i], announcedSet(announced))
+		}
+		// Stream the encoded update straight into the replica's dense
+		// parameters — equivalent to decode + ApplyUpdate, without the
+		// intermediate map.
+		n, err := sparse.AddEncoded(w.model.Params(), buf)
+		if err != nil {
+			return fmt.Errorf("core: worker %d sync at step %d: %w", w.id, c.toStep, err)
+		}
+		applied += n
+	}
+	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
+	e.chargeCompute(w, 4*float64(applied))
+	if e.tr.Enabled() {
+		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "pull",
+			segStart, w.inst.Clock.Now(), trace.Int("step", c.toStep))
+	}
+	// A death mid-pull loses the fetched-but-unapplied updates; the
+	// replacement redoes the pull (same data, time recharged).
+	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("sync at step %d", c.toStep))
+}
+
+// announcedSet renders the announce-derived expected key set, sorted,
+// for the missing-update diagnostic.
+func announcedSet(announced map[string]bool) string {
+	if len(announced) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(announced))
+	for k := range announced {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return "[" + strings.Join(keys, " ") + "]"
+}
+
+// runPhase executes fn for every active worker concurrently (workers are
+// independent within a phase; the shared services are thread-safe) and
+// joins every worker's error in worker-id order, so multi-worker
+// failures are fully reported.
+func runPhase(active []*Worker, fn func(w *Worker) error) error {
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for i, w := range active {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -168,6 +168,7 @@ func Registry() []struct {
 		{"abl-ssp", AblSSP},
 		{"abl-faults", AblFaults},
 		{"abl-shards", AblShards},
+		{"abl-async", AblAsync},
 	}
 }
 

@@ -183,7 +183,7 @@ const (
 	FilterNoDecay    = consistency.NoDecay
 )
 
-// Synchronization models (§3.1, §4.1).
+// Synchronization models (§3.1, §4.1; async from the journal version).
 const (
 	// BSP is Bulk Synchronous Parallel: every update propagates every
 	// step.
@@ -191,6 +191,10 @@ const (
 	// ISP is Insignificance-bounded Synchronous Parallel: only
 	// significant accumulated updates propagate.
 	ISP = consistency.ISP
+	// Async removes the global barrier: workers free-run on their own
+	// clocks under a bounded staleness cap (Spec.Staleness), pulling
+	// peer updates as they are announced. Composes with the ISP filter.
+	Async = consistency.Async
 )
 
 // NewCluster builds a simulated deployment with the paper's link
