@@ -93,6 +93,10 @@ type Filter struct {
 
 	residual *sparse.Vector
 
+	// Scratch reused across Add calls.
+	out   *sparse.Vector
+	flush []uint32
+
 	// Stats.
 	flushed     int64
 	accumulated int64
@@ -132,12 +136,18 @@ func (f *Filter) Threshold(t int) float64 {
 // value is zero is treated as maximally significant whenever its residual
 // is non-zero (the relative change is unbounded).
 //
-// The returned vector is owned by the caller.
+// The returned vector is scratch owned by the filter and valid only
+// until the next Add; callers that retain it must Clone.
 func (f *Filter) Add(t int, u *sparse.Vector, params sparse.Dense) *sparse.Vector {
 	f.residual.AddVector(u)
 	vt := f.Threshold(t)
 
-	out := sparse.NewWithCapacity(f.residual.Len())
+	if f.out == nil {
+		f.out = sparse.NewWithCapacity(f.residual.Len())
+	} else {
+		f.out.Clear()
+	}
+	out := f.out
 	if vt == 0 {
 		// BSP fast path: flush everything.
 		f.residual.ForEach(func(i uint32, delta float64) {
@@ -165,7 +175,7 @@ func (f *Filter) Add(t int, u *sparse.Vector, params sparse.Dense) *sparse.Vecto
 		return out
 	}
 
-	var flush []uint32
+	flush := f.flush[:0]
 	f.residual.ForEach(func(i uint32, delta float64) {
 		x := 0.0
 		if int(i) < len(params) {
@@ -185,6 +195,7 @@ func (f *Filter) Add(t int, u *sparse.Vector, params sparse.Dense) *sparse.Vecto
 	for _, i := range flush {
 		f.residual.Remove(i)
 	}
+	f.flush = flush[:0]
 	f.flushed += int64(out.Len())
 	f.accumulated += int64(f.residual.Len())
 	return out

@@ -103,7 +103,8 @@ func (a Async) Run(e *engine) (*Result, error) {
 		w := e.workers[next]
 		st := states[next]
 		step := st.done + 1
-		c := &stepCtx{step: step, pActive: n, relaunch: true}
+		c := &w.ctx
+		*c = stepCtx{step: step, pActive: n, relaunch: true}
 		if err := e.runStates(w, c, stateRecover); err != nil {
 			return nil, err
 		}
@@ -217,7 +218,7 @@ func (e *engine) asyncPull(w *Worker, st *asyncState, c *stepCtx) error {
 		}
 	}
 
-	var keys []string
+	keys := w.pullKeys[:0]
 	var waitUntil time.Duration
 	for j := range e.workers {
 		if j == w.id {
@@ -236,11 +237,13 @@ func (e *engine) asyncPull(w *Worker, st *asyncState, c *stepCtx) error {
 			st.pulledThrough[j] = t
 		}
 	}
+	w.pullKeys = keys
 	clk.AdvanceTo(waitUntil)
 
 	applied := 0
 	if len(keys) > 0 {
-		vals := e.cl.Redis.MGetView(clk, keys)
+		vals := e.cl.Redis.MGetViewInto(clk, keys, w.pullVals)
+		w.pullVals = vals
 		for i, buf := range vals {
 			if buf == nil {
 				return fmt.Errorf("core: worker %d async pull at step %d: missing announced update %s",

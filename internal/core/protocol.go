@@ -64,11 +64,16 @@ type lossReport struct {
 const lossReportSize = 4 + 4 + 8 + 4
 
 func (r lossReport) encode() []byte {
-	buf := make([]byte, lossReportSize)
-	binary.LittleEndian.PutUint32(buf[0:], r.Worker)
-	binary.LittleEndian.PutUint32(buf[4:], r.Step)
-	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Loss))
-	binary.LittleEndian.PutUint32(buf[16:], r.UpdateBytes)
+	return r.appendTo(make([]byte, 0, lossReportSize))
+}
+
+func (r lossReport) appendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, lossReportSize)...)
+	binary.LittleEndian.PutUint32(buf[start+0:], r.Worker)
+	binary.LittleEndian.PutUint32(buf[start+4:], r.Step)
+	binary.LittleEndian.PutUint64(buf[start+8:], math.Float64bits(r.Loss))
+	binary.LittleEndian.PutUint32(buf[start+16:], r.UpdateBytes)
 	return buf
 }
 
@@ -98,10 +103,15 @@ type announce struct {
 const announceSize = 4 + 4 + 4
 
 func (a announce) encode() []byte {
-	buf := make([]byte, announceSize)
-	binary.LittleEndian.PutUint32(buf[0:], a.Worker)
-	binary.LittleEndian.PutUint32(buf[4:], a.Step)
-	binary.LittleEndian.PutUint32(buf[8:], a.Bytes)
+	return a.appendTo(make([]byte, 0, announceSize))
+}
+
+func (a announce) appendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, announceSize)...)
+	binary.LittleEndian.PutUint32(buf[start+0:], a.Worker)
+	binary.LittleEndian.PutUint32(buf[start+4:], a.Step)
+	binary.LittleEndian.PutUint32(buf[start+8:], a.Bytes)
 	return buf
 }
 
@@ -130,11 +140,16 @@ type asyncAnnounce struct {
 const asyncAnnounceSize = announceSize + 8
 
 func (a asyncAnnounce) encode() []byte {
-	buf := make([]byte, asyncAnnounceSize)
-	binary.LittleEndian.PutUint32(buf[0:], a.Worker)
-	binary.LittleEndian.PutUint32(buf[4:], a.Step)
-	binary.LittleEndian.PutUint32(buf[8:], a.Bytes)
-	binary.LittleEndian.PutUint64(buf[12:], uint64(a.At))
+	return a.appendTo(make([]byte, 0, asyncAnnounceSize))
+}
+
+func (a asyncAnnounce) appendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, asyncAnnounceSize)...)
+	binary.LittleEndian.PutUint32(buf[start+0:], a.Worker)
+	binary.LittleEndian.PutUint32(buf[start+4:], a.Step)
+	binary.LittleEndian.PutUint32(buf[start+8:], a.Bytes)
+	binary.LittleEndian.PutUint64(buf[start+12:], uint64(a.At))
 	return buf
 }
 

@@ -158,9 +158,12 @@ func (e *engine) maybeRelaunch(w *Worker) error {
 	// Adam's two moments; charged, not materialized).
 	ckptStart := w.inst.Clock.Now()
 	params := denseOf(w.model)
-	payload := params.Encode()
+	wb := getWireBuf()
+	payload := params.EncodeTo(wb.b[:0])
 	e.cl.Redis.Set(&w.inst.Clock, e.ckptKey(w.id), payload)
-	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
+	payloadLen := len(payload)
+	putWireBuf(wb, payload)
+	w.inst.Clock.Advance(e.cl.Redis.TransferTime(payloadLen)) // optimizer state
 	resumeAt := w.inst.Clock.Now()
 	mem := w.inst.MemoryMiB
 	if err := e.cl.Platform.TerminateInto(w.inst, &e.meter); err != nil {
@@ -178,7 +181,7 @@ func (e *engine) maybeRelaunch(w *Worker) error {
 	if _, ok := e.cl.Redis.Get(&w.inst.Clock, e.ckptKey(w.id)); !ok {
 		return fmt.Errorf("core: relaunch worker %d: checkpoint vanished", w.id)
 	}
-	w.inst.Clock.Advance(e.cl.Redis.TransferTime(len(payload))) // optimizer state
+	w.inst.Clock.Advance(e.cl.Redis.TransferTime(payloadLen)) // optimizer state
 	e.cl.Redis.Delete(&w.inst.Clock, e.ckptKey(w.id))
 	e.recMu.Lock()
 	e.relaunches++

@@ -62,7 +62,8 @@ func (LockStep) Run(e *engine) (*Result, error) {
 		e.evictExpire = nil
 
 		if err := runPhase(active, func(w *Worker) error {
-			c := &stepCtx{step: step, pActive: pActive, rejoinAt: e.prevBarrier, relaunch: true}
+			c := &w.ctx // per-worker scratch; reset for this pass
+			*c = stepCtx{step: step, pActive: pActive, rejoinAt: e.prevBarrier, relaunch: true}
 			return e.runStates(w, c, stateRecover, stateMerge, stateFetch, stateCompute, statePublish)
 		}); err != nil {
 			return nil, err
@@ -76,7 +77,8 @@ func (LockStep) Run(e *engine) (*Result, error) {
 
 		if syncStep {
 			if err := runPhase(active, func(w *Worker) error {
-				c := &stepCtx{step: step, fromStep: lastSync, toStep: step, active: active}
+				c := &w.ctx
+				*c = stepCtx{step: step, fromStep: lastSync, toStep: step, active: active}
 				return e.runStates(w, c, stateRecover, statePull)
 			}); err != nil {
 				return nil, err

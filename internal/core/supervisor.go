@@ -139,8 +139,10 @@ func (e *engine) evictOne(step int, now time.Duration, active []*Worker) error {
 		}
 	}
 	if victim.filter.BaseThreshold() > 0 && !e.job.Spec.NoEvictionMerge {
-		payload := victim.model.Params().Encode()
+		wb := getWireBuf()
+		payload := victim.model.Params().EncodeTo(wb.b[:0])
 		e.cl.Redis.Set(&victim.inst.Clock, e.evictKey(victim.id), payload)
+		putWireBuf(wb, payload)
 		for _, w := range active {
 			if w.id != victim.id {
 				w.pendingMerge = e.evictKey(victim.id)

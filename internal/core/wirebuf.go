@@ -1,0 +1,25 @@
+package core
+
+import "sync"
+
+// Wire-buffer pool: the staging memory for everything the engine
+// serializes onto the simulated wire — update publishes, checkpoints,
+// eviction replicas. The KV store copies on Set and the broker copies
+// on Publish, so a buffer can go back in the pool the moment the call
+// returns; ownership never crosses the service boundary (DESIGN.md
+// §10). Buffers retain their capacity between uses, so the steady
+// state allocates nothing.
+type wireBuf struct{ b []byte }
+
+var wireBufs = sync.Pool{New: func() any { return new(wireBuf) }}
+
+// getWireBuf draws a buffer from the pool. Use its b field via b[:0]
+// and return the (possibly regrown) slice with putWireBuf.
+func getWireBuf() *wireBuf { return wireBufs.Get().(*wireBuf) }
+
+// putWireBuf returns a buffer to the pool, keeping b's capacity for
+// the next draw. The caller must not touch b afterwards.
+func putWireBuf(wb *wireBuf, b []byte) {
+	wb.b = b
+	wireBufs.Put(wb)
+}

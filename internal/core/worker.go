@@ -30,6 +30,15 @@ type Worker struct {
 	pendingMerge string // eviction-replica key to average in next step
 	alive        bool
 	gen          int // relaunch/recovery generation; distinguishes billing labels
+
+	// Per-step scratch, reused across passes so the steady-state loop
+	// allocates nothing (DESIGN.md §10). ctx is the state-machine pass
+	// context; the rest backs the pull half. Each worker's states run
+	// on one goroutine per phase, so the scratch needs no locking.
+	ctx       stepCtx
+	pullKeys  []string
+	pullVals  [][]byte
+	announced map[string]bool
 }
 
 // stepState enumerates the per-step state machine every worker runs:
@@ -207,26 +216,35 @@ func (e *engine) stepPublish(w *Worker, c *stepCtx) error {
 		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "compute",
 			c.computeStart, publishStart, trace.Int("step", c.step))
 	}
-	payload := sig.Encode()
+	// The payload and both control messages stage through one pooled
+	// wire buffer: the KV store copies on Set and the broker copies on
+	// Publish, so the buffer is reusable the moment each call returns.
+	wb := getWireBuf()
+	payload := sig.EncodeTo(wb.b[:0])
 	e.cl.Redis.Set(clk, e.updKey(c.step, w.id), payload)
+	payloadLen := len(payload)
 
 	var ann []byte
 	if e.job.Spec.Sync == consistency.Async {
 		ann = asyncAnnounce{Worker: uint32(w.id), Step: uint32(c.step),
-			Bytes: uint32(len(payload)), At: clk.Now()}.encode()
+			Bytes: uint32(payloadLen), At: clk.Now()}.appendTo(payload[:0])
 	} else {
-		ann = announce{Worker: uint32(w.id), Step: uint32(c.step), Bytes: uint32(len(payload))}.encode()
+		ann = announce{Worker: uint32(w.id), Step: uint32(c.step), Bytes: uint32(payloadLen)}.appendTo(payload[:0])
 	}
 	if err := e.cl.Broker.PublishFanout(clk, e.annExchange(), ann); err != nil {
+		putWireBuf(wb, ann)
 		return fmt.Errorf("core: worker %d: announce: %w", w.id, err)
 	}
-	if err := e.cl.Broker.Publish(clk, e.lossQueue(),
-		lossReport{Worker: uint32(w.id), Step: uint32(c.step), Loss: c.loss, UpdateBytes: uint32(len(payload))}.encode()); err != nil {
+	report := lossReport{Worker: uint32(w.id), Step: uint32(c.step), Loss: c.loss,
+		UpdateBytes: uint32(payloadLen)}.appendTo(ann[:0])
+	err := e.cl.Broker.Publish(clk, e.lossQueue(), report)
+	putWireBuf(wb, report)
+	if err != nil {
 		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
 	}
 	if e.tr.Enabled() {
 		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "publish",
-			publishStart, clk.Now(), trace.Int("step", c.step), trace.Int("bytes", len(payload)))
+			publishStart, clk.Now(), trace.Int("step", c.step), trace.Int("bytes", payloadLen))
 	}
 	w.lastLoss = c.loss
 	return nil
@@ -244,7 +262,11 @@ func (e *engine) stepPull(w *Worker, c *stepCtx) error {
 
 	// Drain availability announcements; they identify exactly which keys
 	// the peers have published this window.
-	announced := make(map[string]bool)
+	if w.announced == nil {
+		w.announced = make(map[string]bool)
+	}
+	announced := w.announced
+	clear(announced)
 	msgs := e.cl.Broker.ConsumeAll(clk, e.annQueue(w.id))
 	for _, m := range msgs {
 		a, err := decodeAnnounce(m)
@@ -254,7 +276,7 @@ func (e *engine) stepPull(w *Worker, c *stepCtx) error {
 		announced[e.updKey(int(a.Step), int(a.Worker))] = true
 	}
 
-	keys := make([]string, 0, (len(c.active)-1)*(c.toStep-c.fromStep))
+	keys := w.pullKeys[:0]
 	for _, p := range c.active {
 		if p.id != w.id {
 			for s := c.fromStep + 1; s <= c.toStep; s++ {
@@ -262,7 +284,9 @@ func (e *engine) stepPull(w *Worker, c *stepCtx) error {
 			}
 		}
 	}
-	vals := e.cl.Redis.MGetView(clk, keys)
+	w.pullKeys = keys
+	vals := e.cl.Redis.MGetViewInto(clk, keys, w.pullVals)
+	w.pullVals = vals
 	applied := 0
 	for i, buf := range vals {
 		if buf == nil {

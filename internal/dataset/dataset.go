@@ -117,7 +117,7 @@ func EncodeBatch(batch []Sample) []byte {
 			buf = append(buf, kindFeature)
 			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(s.Label))
 			buf = append(buf, scratch[:]...)
-			buf = append(buf, s.Features.Encode()...)
+			buf = s.Features.EncodeTo(buf)
 		}
 	}
 	return buf

@@ -193,9 +193,32 @@ func firstKey(keys []string) string {
 // the hot path for applying peer updates, which are read once and
 // discarded.
 func (s *Store) MGetView(clk *vclock.Clock, keys []string) [][]byte {
-	out := make([][]byte, len(keys))
+	return s.MGetViewInto(clk, keys, nil)
+}
+
+// MGetViewInto is MGetView writing into out, the zero-allocation
+// variant for steady-state pull loops: out is resized (reallocating
+// only when its capacity is short) and every entry is reset before the
+// reads, so missing keys yield nil exactly as in MGetView. Charging is
+// identical to MGetView. The returned slice must be passed back on the
+// next call to reuse its capacity.
+func (s *Store) MGetViewInto(clk *vclock.Clock, keys []string, out [][]byte) [][]byte {
+	out = resizeViews(out, len(keys))
 	total := s.collect(keys, nil, out, true)
 	s.pipe.Charge(clk, "mget", firstKey(keys), total, s.pipe.TransferTime(total))
+	return out
+}
+
+// resizeViews returns out with length n and every entry nil, reusing
+// its backing array when large enough.
+func resizeViews(out [][]byte, n int) [][]byte {
+	if cap(out) < n {
+		return make([][]byte, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = nil
+	}
 	return out
 }
 

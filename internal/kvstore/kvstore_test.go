@@ -272,3 +272,63 @@ func TestFaultRemovedWithNil(t *testing.T) {
 		t.Fatalf("removed injector still charged: %v", clk.Now())
 	}
 }
+
+// --- pooled wire buffers ---
+
+// TestCopyOnPutProtectsPooledBuffers pins the contract the engine's
+// wire-buffer pool depends on: Set copies at the boundary, so a caller
+// may recycle its encode buffer for a different payload immediately
+// after Set returns without corrupting stored values.
+func TestCopyOnPutProtectsPooledBuffers(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	buf := []byte("step-1-update")
+	s.Set(&clk, "upd/1", buf)
+	// Recycle the buffer for the next publish, as a pool would.
+	buf = append(buf[:0], "step-2-update"...)
+	s.Set(&clk, "upd/2", buf)
+	got1, _ := s.Get(&clk, "upd/1")
+	got2, _ := s.Get(&clk, "upd/2")
+	if string(got1) != "step-1-update" || string(got2) != "step-2-update" {
+		t.Fatalf("pooled reuse corrupted store: %q, %q", got1, got2)
+	}
+}
+
+func TestMGetViewIntoReusesAndResets(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.Set(&clk, "a", []byte("abc"))
+	s.Set(&clk, "b", []byte("de"))
+	out := s.MGetViewInto(&clk, []string{"a", "b"}, nil)
+	if string(out[0]) != "abc" || string(out[1]) != "de" {
+		t.Fatalf("first MGetViewInto = %q", out)
+	}
+	// Second call reuses the slice; a now-missing key must come back
+	// nil, not a stale view from the previous call.
+	out2 := s.MGetViewInto(&clk, []string{"missing", "b"}, out)
+	if &out2[0] != &out[0] {
+		t.Fatal("MGetViewInto did not reuse the caller's slice")
+	}
+	if out2[0] != nil || string(out2[1]) != "de" {
+		t.Fatalf("second MGetViewInto = %q", out2)
+	}
+	// Growing past capacity reallocates but still serves correctly.
+	out3 := s.MGetViewInto(&clk, []string{"a", "b", "missing"}, out2[:0])
+	if string(out3[0]) != "abc" || string(out3[1]) != "de" || out3[2] != nil {
+		t.Fatalf("grown MGetViewInto = %q", out3)
+	}
+}
+
+func TestMGetViewIntoChargesLikeMGetView(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var setClk vclock.Clock
+	s.Set(&setClk, "k", make([]byte, 5000))
+	var a, b vclock.Clock
+	s.MGetView(&a, []string{"k", "missing"})
+	scratch := make([][]byte, 0, 2)
+	s.MGetViewInto(&b, []string{"k", "missing"}, scratch)
+	if a.Now() != b.Now() {
+		t.Fatalf("charging differs: MGetView %v, MGetViewInto %v", a.Now(), b.Now())
+	}
+}

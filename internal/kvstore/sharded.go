@@ -125,19 +125,25 @@ func (s *Sharded) Delete(clk *vclock.Clock, key string) {
 // issued over concurrent connections; the caller is charged the
 // maximum of the parallel branch costs. Missing keys yield nil entries.
 func (s *Sharded) MGet(clk *vclock.Clock, keys []string) [][]byte {
-	return s.mget(clk, keys, false)
+	return s.mget(clk, keys, false, nil)
 }
 
 // MGetView is MGet without the defensive copies; the aliasing contract
 // is Store.MGetView's.
 func (s *Sharded) MGetView(clk *vclock.Clock, keys []string) [][]byte {
-	return s.mget(clk, keys, true)
+	return s.mget(clk, keys, true, nil)
 }
 
-func (s *Sharded) mget(clk *vclock.Clock, keys []string, views bool) [][]byte {
+// MGetViewInto is MGetView writing into out (see Store.MGetViewInto
+// for the reuse contract).
+func (s *Sharded) MGetViewInto(clk *vclock.Clock, keys []string, out [][]byte) [][]byte {
+	return s.mget(clk, keys, true, out)
+}
+
+func (s *Sharded) mget(clk *vclock.Clock, keys []string, views bool, out [][]byte) [][]byte {
 	if len(s.shards) == 1 {
 		if views {
-			return s.shards[0].MGetView(clk, keys)
+			return s.shards[0].MGetViewInto(clk, keys, out)
 		}
 		return s.shards[0].MGet(clk, keys)
 	}
@@ -150,7 +156,7 @@ func (s *Sharded) mget(clk *vclock.Clock, keys []string, views bool) [][]byte {
 		byShard[si] = append(byShard[si], i)
 	}
 
-	out := make([][]byte, len(keys))
+	out = resizeViews(out, len(keys))
 	start := clk.Now()
 	var max time.Duration
 	// Iterate shards in index order: branch spans and fault draws are

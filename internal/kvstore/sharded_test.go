@@ -235,3 +235,35 @@ func TestShardedSpreadsTraffic(t *testing.T) {
 		t.Fatal("multi-shard tier leaked counts into the single-endpoint namespace")
 	}
 }
+
+func TestShardedMGetViewIntoMatchesMGetView(t *testing.T) {
+	s := NewSharded(netmodel.Link{}, 4)
+	var clk vclock.Clock
+	keys := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if i%3 != 2 { // leave some keys missing
+			s.Set(&clk, k, []byte(k+"-val"))
+		}
+		keys = append(keys, k)
+	}
+	want := s.MGetView(&clk, keys)
+	scratch := make([][]byte, 1) // deliberately too short: must grow
+	got := s.MGetViewInto(&clk, keys, scratch)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) || (got[i] == nil) != (want[i] == nil) {
+			t.Fatalf("entry %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	// Reuse at sufficient capacity: stale entries for missing keys must
+	// be cleared.
+	again := s.MGetViewInto(&clk, keys, got)
+	for i := range want {
+		if (again[i] == nil) != (want[i] == nil) {
+			t.Fatalf("reused entry %d stale: %q", i, again[i])
+		}
+	}
+}

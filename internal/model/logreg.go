@@ -16,6 +16,7 @@ type LogReg struct {
 	l2     float64
 	params sparse.Dense
 	grad   *sparse.Vector // scratch reused across Gradient calls
+	reg    *sparse.Vector // regularization scratch, same lifetime as grad
 }
 
 var _ Model = (*LogReg)(nil)
@@ -63,8 +64,14 @@ func (m *LogReg) Gradient(batch []dataset.Sample) *sparse.Vector {
 		g.Add(uint32(m.dim), inv*err) // bias
 	}
 	if m.l2 > 0 {
-		// Regularize only coordinates the batch touched.
-		reg := sparse.New()
+		// Regularize only coordinates the batch touched. The terms are
+		// staged in a reused scratch (mutating g mid-iteration is not
+		// allowed) and folded in afterwards.
+		if m.reg == nil {
+			m.reg = sparse.New()
+		}
+		reg := m.reg
+		reg.Clear()
 		g.ForEach(func(i uint32, _ float64) {
 			if int(i) != m.dim { // bias is unregularized
 				reg.Add(i, m.l2*m.params[i])
@@ -95,7 +102,7 @@ func (m *LogReg) Loss(batch []dataset.Sample) float64 {
 // ApplyUpdate implements Model.
 func (m *LogReg) ApplyUpdate(u *sparse.Vector) { m.params.AddSparse(u) }
 
-// Clone implements Model. The scratch gradient buffer is not shared.
+// Clone implements Model. The scratch buffers are not shared.
 func (m *LogReg) Clone() Model {
 	return &LogReg{dim: m.dim, l2: m.l2, params: m.params.Clone()}
 }

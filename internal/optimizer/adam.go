@@ -15,6 +15,7 @@ type Adam struct {
 	beta1, beta2 float64
 	eps          float64
 	m, v         *sparse.Vector
+	u            *sparse.Vector // update scratch, valid until the next Step
 }
 
 var _ Optimizer = (*Adam)(nil)
@@ -41,7 +42,12 @@ func (o *Adam) Step(t int, grad *sparse.Vector) *sparse.Vector {
 	rate := o.lr.Rate(t)
 	c1 := 1 - math.Pow(o.beta1, float64(t))
 	c2 := 1 - math.Pow(o.beta2, float64(t))
-	u := sparse.NewWithCapacity(grad.Len())
+	if o.u == nil {
+		o.u = sparse.NewWithCapacity(grad.Len())
+	} else {
+		o.u.Clear()
+	}
+	u := o.u
 	grad.ForEach(func(i uint32, g float64) {
 		m := o.beta1*o.m.Get(i) + (1-o.beta1)*g
 		v := o.beta2*o.v.Get(i) + (1-o.beta2)*g*g

@@ -25,7 +25,10 @@ type Optimizer interface {
 	// "adam").
 	Name() string
 	// Step converts the gradient of step t (1-based) into the update
-	// u_t = −η_t·direction, mutating internal state.
+	// u_t = −η_t·direction, mutating internal state. The returned
+	// vector is scratch owned by the optimizer and valid only until
+	// the next Step; callers that retain it must Clone. Clone and
+	// Reset never share scratch.
 	Step(t int, grad *sparse.Vector) *sparse.Vector
 	// Clone returns an independent copy including optimizer state.
 	Clone() Optimizer

@@ -53,7 +53,7 @@ func TestSGDDoesNotMutateGradient(t *testing.T) {
 func TestMomentumAccumulates(t *testing.T) {
 	o := NewMomentum(Constant(1), 0.9)
 	g := grad(map[uint32]float64{0: 1})
-	u1 := o.Step(1, g)
+	u1 := o.Step(1, g).Clone() // Step reuses scratch; retain across calls
 	u2 := o.Step(2, g)
 	// v1 = 1, v2 = 0.9 + 1 = 1.9
 	if math.Abs(u1.Get(0)+1) > 1e-12 {

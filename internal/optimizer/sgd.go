@@ -5,6 +5,7 @@ import "mlless/internal/sparse"
 // SGD is plain stochastic gradient descent: u_t = −η_t·g_t.
 type SGD struct {
 	lr Schedule
+	u  *sparse.Vector // update scratch, valid until the next Step
 }
 
 var _ Optimizer = (*SGD)(nil)
@@ -17,9 +18,12 @@ func (o *SGD) Name() string { return "sgd" }
 
 // Step implements Optimizer.
 func (o *SGD) Step(t int, grad *sparse.Vector) *sparse.Vector {
-	u := grad.Clone()
-	u.Scale(-o.lr.Rate(t))
-	return u
+	if o.u == nil {
+		o.u = sparse.New()
+	}
+	o.u.CopyFrom(grad)
+	o.u.Scale(-o.lr.Rate(t))
+	return o.u
 }
 
 // Clone implements Optimizer.
@@ -39,6 +43,7 @@ type Momentum struct {
 	lr  Schedule
 	mu  float64
 	vel *sparse.Vector
+	u   *sparse.Vector // update scratch, valid until the next Step
 }
 
 var _ Optimizer = (*Momentum)(nil)
@@ -54,7 +59,12 @@ func (o *Momentum) Name() string { return "momentum" }
 // Step implements Optimizer.
 func (o *Momentum) Step(t int, grad *sparse.Vector) *sparse.Vector {
 	rate := o.lr.Rate(t)
-	u := sparse.NewWithCapacity(grad.Len())
+	if o.u == nil {
+		o.u = sparse.NewWithCapacity(grad.Len())
+	} else {
+		o.u.Clear()
+	}
+	u := o.u
 	grad.ForEach(func(i uint32, g float64) {
 		v := o.mu*o.vel.Get(i) + g
 		o.vel.Set(i, v)
@@ -78,6 +88,7 @@ type Nesterov struct {
 	lr  Schedule
 	mu  float64
 	vel *sparse.Vector
+	u   *sparse.Vector // update scratch, valid until the next Step
 }
 
 var _ Optimizer = (*Nesterov)(nil)
@@ -93,7 +104,12 @@ func (o *Nesterov) Name() string { return "nesterov" }
 // Step implements Optimizer.
 func (o *Nesterov) Step(t int, grad *sparse.Vector) *sparse.Vector {
 	rate := o.lr.Rate(t)
-	u := sparse.NewWithCapacity(grad.Len())
+	if o.u == nil {
+		o.u = sparse.NewWithCapacity(grad.Len())
+	} else {
+		o.u.Clear()
+	}
+	u := o.u
 	grad.ForEach(func(i uint32, g float64) {
 		v := o.mu*o.vel.Get(i) + g
 		o.vel.Set(i, v)

@@ -40,36 +40,87 @@ func EncodedSizeFor(nnz int) int {
 
 // Encode serializes the vector with ascending indices (deterministic).
 func (v *Vector) Encode() []byte {
-	buf := make([]byte, v.EncodedSize())
-	binary.LittleEndian.PutUint32(buf, uint32(v.Len()))
-	off := sparseHeaderSize
-	v.ForEachSorted(func(i uint32, val float64) {
+	return v.EncodeTo(make([]byte, 0, v.EncodedSize()))
+}
+
+// EncodeTo appends the vector's encoding to buf and returns the
+// extended slice, reallocating only when buf lacks capacity: the
+// zero-allocation publish path (callers keep one wire buffer per worker
+// or draw one from a pool). The appended bytes are identical to
+// Encode's.
+func (v *Vector) EncodeTo(buf []byte) []byte {
+	need := v.EncodedSize()
+	buf = ensureCap(buf, need)
+	start := len(buf)
+	buf = buf[:start+need]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(v.n))
+	if v.n == 0 {
+		return buf
+	}
+	off := start + sparseHeaderSize
+	ps := pairPool.Get().(*pairScratch)
+	idx, vals := ps.extract(v)
+	for k, i := range idx {
 		binary.LittleEndian.PutUint32(buf[off:], i)
-		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(val))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(vals[k]))
 		off += sparseEntrySize
-	})
+	}
+	pairPool.Put(ps)
 	return buf
+}
+
+// ensureCap returns buf with room for at least extra more bytes.
+func ensureCap(buf []byte, extra int) []byte {
+	if cap(buf)-len(buf) >= extra {
+		return buf
+	}
+	nb := make([]byte, len(buf), len(buf)+extra)
+	copy(nb, buf)
+	return nb
 }
 
 // Decode parses a vector produced by Encode.
 func Decode(buf []byte) (*Vector, error) {
+	v := New()
+	if err := DecodeInto(v, buf); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// DecodeInto parses an encoded sparse vector into v, replacing its
+// contents but reusing its table when large enough — the
+// zero-allocation counterpart of Decode for steady-state loops. Encoded
+// entries are ascending and unique, so the fast path inserts each one
+// directly (a single probe, no duplicate check, no incremental grows);
+// buffers violating that order fall back to Set, which remains
+// correct for any valid encoding.
+func DecodeInto(v *Vector, buf []byte) error {
 	if len(buf) < sparseHeaderSize {
-		return nil, fmt.Errorf("sparse: decode: short buffer (%d bytes)", len(buf))
+		return fmt.Errorf("sparse: decode: short buffer (%d bytes)", len(buf))
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	want := sparseHeaderSize + sparseEntrySize*n
 	if len(buf) != want {
-		return nil, fmt.Errorf("sparse: decode: length %d, want %d for %d entries", len(buf), want, n)
+		return fmt.Errorf("sparse: decode: length %d, want %d for %d entries", len(buf), want, n)
 	}
-	v := NewWithCapacity(n)
+	v.reset(n)
 	off := sparseHeaderSize
+	prev := int64(-1)
 	for k := 0; k < n; k++ {
 		i := binary.LittleEndian.Uint32(buf[off:])
 		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
-		v.Set(i, val)
+		if int64(i) > prev && val != 0 {
+			v.insert(i, val)
+		} else {
+			v.Set(i, val)
+		}
+		if int64(i) > prev {
+			prev = int64(i)
+		}
 		off += sparseEntrySize
 	}
-	return v, nil
+	return nil
 }
 
 // AddEncoded streams an encoded sparse vector (the Encode layout)
@@ -104,9 +155,18 @@ func DenseEncodedSize(n int) int {
 
 // Encode serializes the dense vector.
 func (d Dense) Encode() []byte {
-	buf := make([]byte, DenseEncodedSize(len(d)))
-	binary.LittleEndian.PutUint32(buf, uint32(len(d)))
-	off := denseHeaderSize
+	return d.EncodeTo(make([]byte, 0, DenseEncodedSize(len(d))))
+}
+
+// EncodeTo appends the dense encoding to buf and returns the extended
+// slice (see Vector.EncodeTo for the reuse contract).
+func (d Dense) EncodeTo(buf []byte) []byte {
+	need := DenseEncodedSize(len(d))
+	buf = ensureCap(buf, need)
+	start := len(buf)
+	buf = buf[:start+need]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(d)))
+	off := start + denseHeaderSize
 	for _, val := range d {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(val))
 		off += denseEntrySize

@@ -253,6 +253,42 @@ func (v *Vector) Clear() {
 	v.n = 0
 }
 
+// reset empties the vector and guarantees room for entries inserts
+// without an incremental grow, reusing the existing table when it is
+// already large enough.
+func (v *Vector) reset(entries int) {
+	capacity := minCapacity
+	for capacity*3 < entries*4 { // same load-factor rule as init
+		capacity *= 2
+	}
+	if len(v.keys) >= capacity {
+		v.Clear()
+		return
+	}
+	v.init(entries)
+	v.n = 0
+}
+
+// CopyFrom replaces v's contents with an exact copy of src — same table
+// layout, bit-identical values — reusing v's storage when the
+// capacities already match: the zero-allocation counterpart of Clone
+// for scratch vectors reused across steps.
+func (v *Vector) CopyFrom(src *Vector) {
+	if src.keys == nil {
+		v.Clear()
+		return
+	}
+	if len(v.keys) != len(src.keys) {
+		v.keys = make([]uint32, len(src.keys))
+		v.vals = make([]float64, len(src.vals))
+		v.occ = make([]bool, len(src.occ))
+	}
+	copy(v.keys, src.keys)
+	copy(v.vals, src.vals)
+	copy(v.occ, src.occ)
+	v.n = src.n
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
 	c := &Vector{n: v.n}
@@ -277,12 +313,18 @@ func (v *Vector) ForEach(fn func(i uint32, val float64)) {
 }
 
 // ForEachSorted calls fn for every non-zero entry in ascending index
-// order: deterministic, at the cost of a radix sort.
+// order: deterministic, at the cost of a pair sort over pooled scratch
+// (zero steady-state allocations; see pairs.go).
 func (v *Vector) ForEachSorted(fn func(i uint32, val float64)) {
-	for _, i := range v.Indices() {
-		slot, _ := v.findSlot(i)
-		fn(i, v.vals[slot])
+	if v.n == 0 {
+		return
 	}
+	ps := pairPool.Get().(*pairScratch)
+	idx, vals := ps.extract(v)
+	for k, i := range idx {
+		fn(i, vals[k])
+	}
+	pairPool.Put(ps)
 }
 
 // Indices returns the non-zero indices in ascending order.
@@ -302,45 +344,63 @@ func (v *Vector) Indices() []uint32 {
 // §6.1 sanity check depends on bit-identical losses across systems).
 // Entries of v whose index falls outside d are ignored.
 func (v *Vector) Dot(d Dense) float64 {
+	if v.n == 0 {
+		return 0
+	}
+	ps := pairPool.Get().(*pairScratch)
+	idx, vals := ps.extract(v)
 	sum := 0.0
-	v.ForEachSorted(func(i uint32, val float64) {
+	for k, i := range idx {
 		if int(i) < len(d) {
-			sum += val * d[i]
+			sum += vals[k] * d[i]
 		}
-	})
+	}
+	pairPool.Put(ps)
 	return sum
 }
 
 // NormL2 returns the Euclidean norm of the vector (deterministic order).
 func (v *Vector) NormL2() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	ps := pairPool.Get().(*pairScratch)
+	_, vals := ps.extract(v)
 	sum := 0.0
-	v.ForEachSorted(func(_ uint32, val float64) {
+	for _, val := range vals {
 		sum += val * val
-	})
+	}
+	pairPool.Put(ps)
 	return math.Sqrt(sum)
 }
 
 // NormL1 returns the taxicab norm of the vector (deterministic order).
 func (v *Vector) NormL1() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	ps := pairPool.Get().(*pairScratch)
+	_, vals := ps.extract(v)
 	sum := 0.0
-	v.ForEachSorted(func(_ uint32, val float64) {
+	for _, val := range vals {
 		sum += math.Abs(val)
-	})
+	}
+	pairPool.Put(ps)
 	return sum
 }
 
-// Equal reports whether two sparse vectors hold identical entries.
+// Equal reports whether two sparse vectors hold identical entries. It
+// short-circuits on the first mismatch.
 func (v *Vector) Equal(other *Vector) bool {
 	if v.n != other.n {
 		return false
 	}
-	equal := true
-	v.ForEach(func(i uint32, val float64) {
-		if other.Get(i) != val {
-			equal = false
+	for s := range v.keys {
+		if v.occ[s] && other.Get(v.keys[s]) != v.vals[s] {
+			return false
 		}
-	})
-	return equal
+	}
+	return true
 }
 
 // String renders up to eight entries for debugging.
@@ -476,12 +536,23 @@ func (d Dense) Fill(val float64) {
 }
 
 // ToSparse converts the dense vector to a sparse one holding its
-// non-zero entries.
+// non-zero entries. The indices are unique by construction, so entries
+// are inserted directly (one probe each, no duplicate check) into a
+// table grown once to its final size.
 func (d Dense) ToSparse() *Vector {
-	v := New()
+	nnz := 0
+	for _, val := range d {
+		if val != 0 {
+			nnz++
+		}
+	}
+	v := NewWithCapacity(nnz)
+	if nnz == 0 {
+		return v
+	}
 	for i, val := range d {
 		if val != 0 {
-			v.Set(uint32(i), val)
+			v.insert(uint32(i), val)
 		}
 	}
 	return v
