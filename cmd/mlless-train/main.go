@@ -36,6 +36,7 @@ func run() error {
 		autotune  = flag.Bool("autotune", false, "enable the scale-in auto-tuner")
 		staleness = flag.Int("staleness", 1, "SSP staleness bound; async staleness cap K (1 = per-step sync)")
 		kvShards  = flag.Int("kv-shards", 1, "KV exchange tier shard count (1 = single Redis endpoint)")
+		driver    = flag.String("driver", "par", "simulation driver: par (goroutine pool) | seq (single-threaded); results are byte-identical")
 		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
 		maxSteps  = flag.Int("max-steps", 500, "step cap")
 		lr        = flag.Float64("lr", 0, "learning rate (0 = model default)")
@@ -100,6 +101,7 @@ func run() error {
 	job.Spec.MaxSteps = *maxSteps
 	job.Spec.AutoTune = *autotune
 	job.Spec.Staleness = *staleness
+	job.Spec.Driver = *driver
 	switch *sync {
 	case "bsp":
 		job.Spec.Sync = mlless.BSP

@@ -6,7 +6,6 @@ import (
 
 	"mlless/internal/sparse"
 	"mlless/internal/trace"
-	"mlless/internal/vclock"
 )
 
 // Async is the event-driven schedule of the journal version of MLLess
@@ -22,10 +21,16 @@ import (
 // so the loss history is identical (pinned by TestAsyncCapOneMatchesBSP)
 // while the timeline is free of barrier waits.
 //
-// The driver below is a sequential discrete-event simulation: among the
-// workers allowed to start a step it always picks the one with the
-// smallest (clock, id), which makes async runs — and their traces —
-// deterministic by construction, faults included.
+// The driver below is a deterministic discrete-event simulation over
+// lookahead groups (lookahead.go): each round it takes the same-step
+// cohort of the eligible worker with the smallest (clock, id) and runs
+// every member's pass in two sub-phases — first the read side (recover
+// + pull, which only consumes updates committed by earlier rounds),
+// then the write side (merge/fetch/compute/publish). Members of a
+// cohort provably cannot observe each other's current-step effects, so
+// the sub-phases may execute members in any order — one at a time or on
+// a goroutine pool (Spec.Driver) — and the run's traces, loss histories
+// and bills are byte-identical either way, faults included.
 type Async struct {
 	// Cap is the staleness bound K >= 1 (Spec.Staleness under async).
 	Cap int
@@ -75,59 +80,66 @@ func (a Async) Run(e *engine) (*Result, error) {
 	aggregated := 0     // highest step the supervisor has reconciled
 	expiredThrough := 0 // highest step whose update keys have been expired
 	cfg := e.cl.Platform.Config()
+	var group []*Worker // reused across rounds
 
 	for {
-		minDone := spec.MaxSteps
-		for _, st := range states {
-			if st.done < minDone {
-				minDone = st.done
-			}
-		}
-
-		// Pick the eligible worker with the smallest (clock, id). The
-		// minimum-progress worker is always eligible, so the loop cannot
-		// stall before every worker reaches MaxSteps.
-		next := -1
-		for i, st := range states {
-			if st.done >= spec.MaxSteps || st.done+1 > minDone+k {
-				continue
-			}
-			if next < 0 || e.workers[i].inst.Clock.Now() < e.workers[next].inst.Clock.Now() {
-				next = i
-			}
-		}
-		if next < 0 {
+		group = nextAsyncGroup(e.workers, states, spec.MaxSteps, k, group)
+		if len(group) == 0 {
 			break // every worker finished MaxSteps
 		}
+		if h := asyncGroupHook; h != nil {
+			h(len(group))
+		}
 
-		w := e.workers[next]
-		st := states[next]
-		step := st.done + 1
-		c := &w.ctx
-		*c = stepCtx{step: step, pActive: n, relaunch: true}
-		if err := e.runStates(w, c, stateRecover); err != nil {
-			return nil, err
-		}
-		if err := e.asyncPull(w, st, c); err != nil {
-			return nil, err
-		}
-		if err := e.runStates(w, c, stateMerge, stateFetch, stateCompute, statePublish); err != nil {
-			return nil, err
-		}
-		if !dead(w.inst) {
-			if err := w.inst.CheckLimit(cfg); err != nil {
-				return nil, fmt.Errorf("core: step %d: %w", step, err)
+		// Read side: each member recovers a dead container and pulls the
+		// peer updates its announcement queue promises. Everything read —
+		// queue contents and update keys — was committed by earlier
+		// rounds (a step-s pass pulls through step s-1 only), so members
+		// are independent here.
+		if err := e.drv.Phase(group, func(w *Worker) error {
+			st := states[w.id]
+			c := &w.ctx
+			*c = stepCtx{step: st.done + 1, pActive: n, relaunch: true}
+			if err := e.runStates(w, c, stateRecover); err != nil {
+				return err
 			}
+			return e.asyncPull(w, st, c)
+		}); err != nil {
+			return nil, err
 		}
-		st.done = step
-		st.pubAt[step] = w.inst.Clock.Now()
+
+		// Write side: compute and publish. Nobody reads queues or update
+		// keys in this sub-phase; each member writes only its own update
+		// key and appends to queues whose internal order is never
+		// observable (consumers key by worker and step), so members are
+		// independent here too.
+		if err := e.drv.Phase(group, func(w *Worker) error {
+			return e.runStates(w, &w.ctx, stateMerge, stateFetch, stateCompute, statePublish)
+		}); err != nil {
+			return nil, err
+		}
+
+		// Commit the round in (clock, id) order — the same total order
+		// the partitioner anchors on, now over the post-step clocks.
+		sortByClockID(group)
+		for _, w := range group {
+			st := states[w.id]
+			step := st.done + 1
+			if !dead(w.inst) {
+				if err := w.inst.CheckLimit(cfg); err != nil {
+					return nil, fmt.Errorf("core: step %d: %w", step, err)
+				}
+			}
+			st.done = step
+			st.pubAt[step] = w.inst.Clock.Now()
+		}
 
 		// Reconcile every step the whole pool has now completed: the
 		// supervisor advances to the step's last publish instant,
 		// aggregates its loss reports and applies the stop criteria.
 		stop := false
 		for !stop {
-			minDone = spec.MaxSteps
+			minDone := spec.MaxSteps
 			for _, s := range states {
 				if s.done < minDone {
 					minDone = s.done
@@ -177,17 +189,19 @@ func (a Async) Run(e *engine) (*Result, error) {
 
 	// Expire what the run still holds, including updates published by
 	// run-ahead workers past the last aggregated step, so a finished job
-	// leaves the store empty.
+	// leaves the store empty. The deletes are supervisor work — its
+	// end-of-run cleanup — so they are charged on the supervisor clock,
+	// keeping kv counters and trace ordering consistent with the run
+	// (a zero-valued clock would date them at virtual time 0).
 	maxDone := 0
 	for _, st := range states {
 		if st.done > maxDone {
 			maxDone = st.done
 		}
 	}
-	var janitor vclock.Clock
 	for s := expiredThrough + 1; s <= maxDone; s++ {
 		for _, w := range e.workers {
-			e.cl.Redis.Delete(&janitor, e.updKey(s, w.id))
+			e.cl.Redis.Delete(&e.sup.Clock, e.updKey(s, w.id))
 		}
 	}
 
@@ -197,6 +211,11 @@ func (a Async) Run(e *engine) (*Result, error) {
 	}
 	return e.teardown(converged, diverged, lastStep)
 }
+
+// asyncGroupHook, when non-nil, observes each lookahead group's width.
+// Test and benchmark instrumentation only; set it before a run and
+// clear it after.
+var asyncGroupHook func(width int)
 
 // asyncPull drains the worker's announcement queue and applies every
 // announced peer update for steps up to c.step-1, in (peer id, step)
@@ -266,7 +285,10 @@ func (e *engine) asyncPull(w *Worker, st *asyncState, c *stepCtx) error {
 
 // aggregateAsync drains the loss queue into buf (run-ahead workers may
 // have reported later steps already) and averages step's reports in
-// worker-id order (deterministic float summation).
+// worker-id order (deterministic float summation). Every worker must
+// report exactly once per step: out-of-range ids and duplicate reports
+// are protocol violations surfaced as errors, never silently folded
+// into the average.
 func (e *engine) aggregateAsync(step, expect int, buf map[int][]lossReport) (avgLoss float64, updateBytes int64, err error) {
 	for _, m := range e.cl.Broker.ConsumeAll(&e.sup.Clock, e.lossQueue()) {
 		r, err := decodeLossReport(m)
@@ -281,13 +303,26 @@ func (e *engine) aggregateAsync(step, expect int, buf map[int][]lossReport) (avg
 		return 0, 0, fmt.Errorf("core: supervisor got %d loss reports for step %d, want %d",
 			len(reports), step, expect)
 	}
-	sum := 0.0
 	// Fan-out queues preserve publish order per sender but the drain
-	// interleaves senders; fix the summation order by worker id.
+	// interleaves senders; fix the summation order by worker id. The
+	// count check above plus in-range and no-duplicate below guarantee
+	// every slot is filled exactly once.
 	byWorker := make([]lossReport, expect)
+	seen := make([]bool, expect)
 	for _, r := range reports {
-		byWorker[int(r.Worker)] = r
+		id := int(r.Worker)
+		if id >= expect {
+			return 0, 0, fmt.Errorf("core: supervisor: loss report for step %d from out-of-range worker %d (pool size %d)",
+				step, id, expect)
+		}
+		if seen[id] {
+			return 0, 0, fmt.Errorf("core: supervisor: duplicate loss report for step %d from worker %d",
+				step, id)
+		}
+		seen[id] = true
+		byWorker[id] = r
 	}
+	sum := 0.0
 	for _, r := range byWorker {
 		sum += r.Loss
 		updateBytes += int64(r.UpdateBytes)

@@ -130,6 +130,7 @@ func TestAsyncLeavesNoStaleKeys(t *testing.T) {
 	// have published updates past the last aggregated step, which only the
 	// post-loop janitor can reach. The store must still end empty.
 	cl, job := testPMFJob(t, 4, asyncSpec(Spec{TargetLoss: 0.9, MaxSteps: 2000}, 4))
+	job.Trace = trace.New()
 	res, err := Run(cl, job)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +143,23 @@ func TestAsyncLeavesNoStaleKeys(t *testing.T) {
 	}
 	if cl.Redis.Len() != 0 {
 		t.Fatalf("early-stopped async run left %d keys in the store", cl.Redis.Len())
+	}
+	// The janitor's deletes are supervisor work, charged on the
+	// supervisor clock: they must show up on its track dated within the
+	// run, not at virtual time 0 (a zero-valued clock would date them
+	// there) or off the timeline entirely (an unregistered clock would
+	// drop and under-charge them).
+	janitorDels := 0
+	for _, ev := range job.Trace.Events() {
+		if ev.Cat == trace.CatKV && ev.Name == "del" && ev.Track == supTrack {
+			janitorDels++
+			if ev.Start <= 0 {
+				t.Fatalf("janitor delete dated at virtual time %v, want > 0", ev.Start)
+			}
+		}
+	}
+	if janitorDels == 0 {
+		t.Fatal("no janitor deletes on the supervisor track; run-ahead cleanup was uncharged")
 	}
 }
 

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The simulation driver: how the engine executes the per-worker state
+// machines of one lookahead group (see lookahead.go for how groups are
+// chosen). Both schedules hand the driver batches of workers whose
+// virtual-time intervals provably cannot interact within the phase, so
+// the driver is free to run them in any order — sequentially or on a
+// goroutine pool — and the run's traces, loss histories and bills come
+// out byte-identical either way. Determinism therefore never depends on
+// the driver; the sequential driver exists as an escape hatch and as
+// the baseline the differential tests compare against.
+
+// Driver names accepted by Spec.Driver.
+const (
+	// DriverSeq runs each group's workers one at a time on the calling
+	// goroutine, in the group's (clock, id) order.
+	DriverSeq = "seq"
+	// DriverPar (the default) runs each group's workers on a goroutine
+	// pool bounded by GOMAXPROCS.
+	DriverPar = "par"
+)
+
+// ErrUnknownDriver reports a Spec.Driver value that names no driver.
+var ErrUnknownDriver = errors.New(`core: unknown driver (want "seq" or "par")`)
+
+// driver executes one phase — fn applied to every worker of a lookahead
+// group. Implementations must run fn exactly once per worker, must not
+// stop at the first failure (a later worker's error is often the cause
+// of an earlier one's symptom under fault injection), and must join the
+// collected errors in group order so multi-worker failures render
+// identically whatever the execution interleaving was.
+type driver interface {
+	// Name returns the Spec.Driver value that selects this driver.
+	Name() string
+	// Phase runs fn for every worker in group and joins their errors in
+	// group order.
+	Phase(group []*Worker, fn func(*Worker) error) error
+}
+
+// driverFor resolves a Spec.Driver value. The empty string selects the
+// default (parallel) driver.
+func driverFor(name string) (driver, error) {
+	switch name {
+	case "", DriverPar:
+		return parDriver{}, nil
+	case DriverSeq:
+		return seqDriver{}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownDriver, name)
+}
+
+// seqDriver runs a group's workers one at a time in group order.
+type seqDriver struct{}
+
+// Name implements driver.
+func (seqDriver) Name() string { return DriverSeq }
+
+// Phase implements driver.
+func (seqDriver) Phase(group []*Worker, fn func(*Worker) error) error {
+	errs := make([]error, len(group))
+	for i, w := range group {
+		errs[i] = fn(w)
+	}
+	return errors.Join(errs...)
+}
+
+// parDriver runs a group's workers on a goroutine pool. Workers within
+// a group are independent (the lookahead partition guarantees it) and
+// the shared services are thread-safe, so the pool only changes
+// wall-clock time, never results.
+type parDriver struct{}
+
+// Name implements driver.
+func (parDriver) Name() string { return DriverPar }
+
+// Phase implements driver. The pool is bounded by GOMAXPROCS but always
+// keeps at least two goroutines for a multi-worker group, so the race
+// detector observes cross-worker interleavings even on a single-CPU
+// host.
+func (parDriver) Phase(group []*Worker, fn func(*Worker) error) error {
+	n := len(group)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(group[0])
+	}
+	pool := runtime.GOMAXPROCS(0)
+	if pool < 2 {
+		pool = 2
+	}
+	if pool > n {
+		pool = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(pool)
+	for p := 0; p < pool; p++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(group[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"mlless/internal/consistency"
+)
+
+// benchmarkDriver measures full async training runs at cluster scale
+// under one driver. Dataset generation and staging happen outside the
+// timer; the measured region is the simulation itself, which is what
+// the seq/par comparison in BENCH_driver.json prices.
+func benchmarkDriver(b *testing.B, driver string, workers, steps int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, job := testPMFJob(b, workers,
+			Spec{MaxSteps: steps, Sync: consistency.Async, Staleness: 3, Driver: driver})
+		b.StartTimer()
+		if _, err := Run(cl, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+}
+
+func BenchmarkDriver100WorkersSeq(b *testing.B) { benchmarkDriver(b, DriverSeq, 100, 30) }
+func BenchmarkDriver100WorkersPar(b *testing.B) { benchmarkDriver(b, DriverPar, 100, 30) }
+
+// TestAsyncCohortWidthAtScale records the lookahead-group widths of a
+// 100-worker async run: the mean width is the parallelism the driver
+// can exploit per round, i.e. the upper bound on multi-core speedup.
+// The widths are a property of the schedule, not of the driver, so one
+// run characterizes both. A mean near 1 would mean the cohort rule
+// found no concurrency and the parallel driver degenerates to
+// sequential; assert it stays comfortably wide.
+func TestAsyncCohortWidthAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale run")
+	}
+	var widths []int
+	asyncGroupHook = func(w int) { widths = append(widths, w) }
+	defer func() { asyncGroupHook = nil }()
+
+	cl, job := testPMFJob(t, 100, Spec{MaxSteps: 30, Sync: consistency.Async, Staleness: 3})
+	if _, err := Run(cl, job); err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) == 0 {
+		t.Fatal("group hook never fired")
+	}
+	sum, max := 0, 0
+	for _, w := range widths {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	mean := float64(sum) / float64(len(widths))
+	t.Logf("rounds=%d mean-width=%.1f max-width=%d", len(widths), mean, max)
+	if mean < 4 {
+		t.Fatalf("mean cohort width %.1f leaves the parallel driver nearly sequential", mean)
+	}
+}

@@ -39,6 +39,7 @@ type engine struct {
 	meter    cost.Meter
 	faults   *faults.Injector
 	tr       *trace.Tracer
+	drv      driver
 
 	history     []LossPoint
 	removals    []Removal
@@ -123,6 +124,12 @@ func (e *engine) traceBoot(inst *faas.Instance, track string) {
 
 func (e *engine) setup() error {
 	spec := e.job.Spec
+
+	drv, err := driverFor(spec.Driver)
+	if err != nil {
+		return err
+	}
+	e.drv = drv
 
 	sup, err := e.invokeAt(e.supName(), spec.MemoryMiB, 0, false)
 	if err != nil {

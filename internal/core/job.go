@@ -77,6 +77,12 @@ type Spec struct {
 	// for this many consecutive steps (0 disables) — a convergence
 	// criterion for jobs without a known target loss.
 	Patience int
+	// Driver selects the simulation execution core: DriverPar (the
+	// default) runs each lookahead group's workers on a goroutine pool;
+	// DriverSeq runs them one at a time. The two produce byte-identical
+	// traces, loss histories and bills — "seq" is the escape hatch and
+	// the baseline the differential determinism tests compare against.
+	Driver string
 	// Faults configures deterministic fault injection for the run (see
 	// internal/faults): transient invocation failures, cold-start
 	// stragglers, mid-run container reclamation and KV/broker fault
@@ -102,6 +108,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Staleness < 1 {
 		s.Staleness = 1
+	}
+	if s.Driver == "" {
+		s.Driver = DriverPar
 	}
 	return s
 }
@@ -145,6 +154,9 @@ func (j Job) validate(memoryMiB int) error {
 	}
 	if j.Spec.Sync == consistency.Async && j.Spec.AutoTune {
 		return ErrAsyncAutoTune
+	}
+	if _, err := driverFor(j.Spec.Driver); err != nil {
+		return err
 	}
 	// A replica must fit beside optimizer state and a mini-batch in
 	// function memory: ~8 bytes/param for the model plus ~16 for

@@ -127,7 +127,7 @@ func (e *engine) redoSegmentOnDeath(w *Worker, segStart time.Duration, what stri
 	for deaths := 0; dead(w.inst); {
 		if deaths++; deaths > maxConsecutiveDeaths {
 			return fmt.Errorf("core: worker %d: %d consecutive reclamations during %s: %w",
-				w.id, deaths-1, what, faults.ErrInjected)
+				w.id, deaths, what, faults.ErrInjected)
 		}
 		redo := w.inst.Clock.Now() - segStart
 		if err := e.recoverWorker(w); err != nil {

@@ -40,7 +40,11 @@ type LockStep struct{}
 // Name implements Schedule.
 func (LockStep) Name() string { return "lockstep" }
 
-// Run implements Schedule.
+// Run implements Schedule. Each phase hands the whole active set to the
+// engine's driver as one lookahead group: between barriers every worker
+// runs the same step and reads only state committed before the phase,
+// so the phase boundary itself is the lookahead window (lookahead.go)
+// and no partitioning is needed.
 func (LockStep) Run(e *engine) (*Result, error) {
 	spec := e.job.Spec
 	converged := false
@@ -61,7 +65,7 @@ func (LockStep) Run(e *engine) (*Result, error) {
 		expireEvict := e.evictExpire
 		e.evictExpire = nil
 
-		if err := runPhase(active, func(w *Worker) error {
+		if err := e.drv.Phase(active, func(w *Worker) error {
 			c := &w.ctx // per-worker scratch; reset for this pass
 			*c = stepCtx{step: step, pActive: pActive, rejoinAt: e.prevBarrier, relaunch: true}
 			return e.runStates(w, c, stateRecover, stateMerge, stateFetch, stateCompute, statePublish)
@@ -76,7 +80,7 @@ func (LockStep) Run(e *engine) (*Result, error) {
 		}
 
 		if syncStep {
-			if err := runPhase(active, func(w *Worker) error {
+			if err := e.drv.Phase(active, func(w *Worker) error {
 				c := &w.ctx
 				*c = stepCtx{step: step, fromStep: lastSync, toStep: step, active: active}
 				return e.runStates(w, c, stateRecover, statePull)

@@ -24,7 +24,7 @@ func (e *engine) syncSupervisor(at time.Duration, step int) error {
 	for deaths := 0; dead(e.sup); {
 		if deaths++; deaths > maxConsecutiveDeaths {
 			return fmt.Errorf("core: supervisor: %d consecutive reclamations: %w",
-				deaths-1, faults.ErrInjected)
+				deaths, faults.ErrInjected)
 		}
 		if err := e.recoverSup(); err != nil {
 			return err
@@ -57,7 +57,13 @@ func (e *engine) aggregateReports(expect int) (avgLoss float64, updateBytes int6
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Worker < reports[j].Worker })
 	sum := 0.0
-	for _, r := range reports {
+	for i, r := range reports {
+		// A duplicate sender means a protocol violation — and, because
+		// the sort key would no longer be unique, a nondeterministic
+		// summation order; reject it instead of averaging it in.
+		if i > 0 && reports[i-1].Worker == r.Worker {
+			return 0, 0, fmt.Errorf("core: supervisor: duplicate loss report from worker %d", r.Worker)
+		}
 		sum += r.Loss
 		updateBytes += int64(r.UpdateBytes)
 	}

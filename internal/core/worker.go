@@ -1,11 +1,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"mlless/internal/consistency"
@@ -33,8 +31,9 @@ type Worker struct {
 
 	// Per-step scratch, reused across passes so the steady-state loop
 	// allocates nothing (DESIGN.md §10). ctx is the state-machine pass
-	// context; the rest backs the pull half. Each worker's states run
-	// on one goroutine per phase, so the scratch needs no locking.
+	// context; the rest backs the pull half. Within a phase exactly one
+	// driver goroutine runs this worker's states (see driver.go), so
+	// the scratch needs no locking.
 	ctx       stepCtx
 	pullKeys  []string
 	pullVals  [][]byte
@@ -325,22 +324,4 @@ func announcedSet(announced map[string]bool) string {
 	}
 	sort.Strings(keys)
 	return "[" + strings.Join(keys, " ") + "]"
-}
-
-// runPhase executes fn for every active worker concurrently (workers are
-// independent within a phase; the shared services are thread-safe) and
-// joins every worker's error in worker-id order, so multi-worker
-// failures are fully reported.
-func runPhase(active []*Worker, fn func(w *Worker) error) error {
-	errs := make([]error, len(active))
-	var wg sync.WaitGroup
-	for i, w := range active {
-		wg.Add(1)
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			errs[i] = fn(w)
-		}(i, w)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
 }

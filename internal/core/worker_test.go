@@ -9,30 +9,33 @@ import (
 	"mlless/internal/fit"
 )
 
-func TestRunPhaseJoinsAllErrors(t *testing.T) {
+func TestPhaseJoinsAllErrors(t *testing.T) {
 	// A phase where several workers fail must report every failure, not
 	// just the lowest-id one: under aggressive fault injection the first
-	// error is often a symptom and a later one the cause.
+	// error is often a symptom and a later one the cause. Both drivers
+	// share the contract.
 	ws := []*Worker{{id: 0}, {id: 1}, {id: 2}}
 	err0 := errors.New("worker 0 exploded")
 	err2 := errors.New("worker 2 exploded")
-	err := runPhase(ws, func(w *Worker) error {
-		switch w.id {
-		case 0:
-			return err0
-		case 2:
-			return err2
+	for _, drv := range []driver{seqDriver{}, parDriver{}} {
+		err := drv.Phase(ws, func(w *Worker) error {
+			switch w.id {
+			case 0:
+				return err0
+			case 2:
+				return err2
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("%s: phase with two failing workers returned nil", drv.Name())
 		}
-		return nil
-	})
-	if err == nil {
-		t.Fatal("phase with two failing workers returned nil")
-	}
-	if !errors.Is(err, err0) || !errors.Is(err, err2) {
-		t.Fatalf("joined error lost a worker failure: %v", err)
-	}
-	if err := runPhase(ws, func(*Worker) error { return nil }); err != nil {
-		t.Fatalf("clean phase returned %v", err)
+		if !errors.Is(err, err0) || !errors.Is(err, err2) {
+			t.Fatalf("%s: joined error lost a worker failure: %v", drv.Name(), err)
+		}
+		if err := drv.Phase(ws, func(*Worker) error { return nil }); err != nil {
+			t.Fatalf("%s: clean phase returned %v", drv.Name(), err)
+		}
 	}
 }
 

@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -72,6 +74,53 @@ func TestEventOrderIsContentBasedNotEmissionBased(t *testing.T) {
 	}
 	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
 		t.Fatalf("emission order leaked into the export:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+func TestConcurrentEmissionIsDeterministic(t *testing.T) {
+	// The parallel driver completes spans from racing worker goroutines,
+	// so events arrive interleaved in nondeterministic emission order —
+	// including spans that finish after later-starting spans on other
+	// tracks. The content-based total order must absorb that: a
+	// concurrent emission and a sequential one of the same events export
+	// byte-identical files.
+	const tracks, spans = 8, 50
+	emitTrack := func(tr *Tracer, w int) {
+		track := fmt.Sprintf("worker-%d", w)
+		for s := 0; s < spans; s++ {
+			// Starts interleave across tracks; durations vary so span
+			// completion order differs from start order.
+			start := time.Duration(s*tracks + w)
+			tr.SpanOn(track, CatEngine, "compute", start, start+time.Duration(1+(w+s)%5),
+				Int("step", s))
+		}
+	}
+
+	seq := New()
+	for w := 0; w < tracks; w++ {
+		emitTrack(seq, w)
+	}
+
+	par := New()
+	var wg sync.WaitGroup
+	for w := 0; w < tracks; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			emitTrack(par, w)
+		}(w)
+	}
+	wg.Wait()
+
+	var bufSeq, bufPar bytes.Buffer
+	if err := WriteChrome(&bufSeq, seq.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&bufPar, par.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatal("concurrent emission leaked into the export")
 	}
 }
 

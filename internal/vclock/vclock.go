@@ -12,9 +12,18 @@ package vclock
 import "time"
 
 // Clock is a virtual clock. The zero value is a clock at time zero,
-// ready to use. Clock is not safe for concurrent use; in the simulator
-// each worker owns its clock exclusively within a step and barriers are
-// performed by the single-threaded step engine.
+// ready to use.
+//
+// Clock is not safe for concurrent use; the simulator relies on an
+// ownership contract instead of locks. Within a phase, exactly one
+// driver goroutine executes a worker's state machine and is the sole
+// reader and writer of that worker's clock (recoveries may swap the
+// instance — and thus the clock — mid-phase, but only on the owning
+// goroutine). Between phases, ownership passes to the engine's
+// coordinating goroutine — the driver's join is the happens-before
+// edge — which is when cross-clock operations (Barrier, Max, the
+// supervisor reading publish instants) are allowed. The supervisor's
+// clock is only ever touched by the coordinating goroutine.
 type Clock struct {
 	now time.Duration
 }
@@ -43,7 +52,8 @@ func (c *Clock) Reset() { c.now = 0 }
 
 // Barrier synchronizes a set of clocks at a BSP boundary: every clock is
 // advanced to the maximum of the set, and that time is returned. An empty
-// set returns zero.
+// set returns zero. Callers must hold ownership of every clock in the
+// set — i.e. run on the coordinating goroutine between phases.
 func Barrier(clocks []*Clock) time.Duration {
 	var max time.Duration
 	for _, c := range clocks {
