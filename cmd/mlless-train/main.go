@@ -36,6 +36,8 @@ func run() error {
 		autotune  = flag.Bool("autotune", false, "enable the scale-in auto-tuner")
 		staleness = flag.Int("staleness", 1, "SSP staleness bound; async staleness cap K (1 = per-step sync)")
 		kvShards  = flag.Int("kv-shards", 1, "KV exchange tier shard count (1 = single Redis endpoint)")
+		exch      = flag.String("exchange", "ps", "gradient exchange: ps (parameter server) | scatter (scatter-reduce) | tree (tree-reduce)")
+		fanout    = flag.Int("tree-fanout", 0, "tree-reduce fan-out, >= 2 (0 = default; requires -exchange tree)")
 		driver    = flag.String("driver", "par", "simulation driver: par (goroutine pool) | seq (single-threaded); results are byte-identical")
 		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
 		maxSteps  = flag.Int("max-steps", 500, "step cap")
@@ -90,6 +92,25 @@ func run() error {
 			return fmt.Errorf("-%s must be a probability in [0, 1], got %g", check.name, check.val)
 		}
 	}
+	if err := mlless.ValidateExchange(*exch, *fanout); err != nil {
+		return err
+	}
+	if *fanout != 0 && *exch != mlless.ExchangeTree {
+		return fmt.Errorf("-tree-fanout only applies to -exchange tree, got -exchange %s", *exch)
+	}
+	if *exch != mlless.ExchangeParamServer {
+		// The collective strategies reduce through the object store, not
+		// the KV tier, and need every worker on the same step.
+		if *kvShards > 1 {
+			return fmt.Errorf("-exchange %s bypasses the KV tier; it cannot be combined with -kv-shards %d", *exch, *kvShards)
+		}
+		if *sync == "async" {
+			return fmt.Errorf("-exchange %s needs a lock-step schedule; it cannot be combined with -sync async", *exch)
+		}
+		if *staleness > 1 {
+			return fmt.Errorf("-exchange %s needs per-step synchronization; it cannot be combined with -staleness %d", *exch, *staleness)
+		}
+	}
 
 	cluster := mlless.NewClusterWithShards(*kvShards)
 	job, err := buildJob(cluster, *modelName, *data, *batch, *lr, *seed)
@@ -102,6 +123,8 @@ func run() error {
 	job.Spec.AutoTune = *autotune
 	job.Spec.Staleness = *staleness
 	job.Spec.Driver = *driver
+	job.Spec.Exchange = *exch
+	job.Spec.TreeFanout = *fanout
 	switch *sync {
 	case "bsp":
 		job.Spec.Sync = mlless.BSP

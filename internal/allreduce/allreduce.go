@@ -16,6 +16,21 @@ import (
 	"mlless/internal/sparse"
 )
 
+// ReduceTime is the shared kernel of every reduction timing model in
+// the repo: a collective that runs for a number of sequential phases,
+// each phase bounded by one transfer of bytesPerPhase over link. Ring,
+// naive and tree topologies differ only in how many phases they need
+// and how much each phase moves, so they all delegate here — and the
+// storage-mediated exchange strategies (internal/exchange) reuse the
+// same kernel for their closed-form estimates instead of re-deriving
+// the math.
+func ReduceTime(link netmodel.Link, phases, bytesPerPhase int) time.Duration {
+	if phases <= 0 || bytesPerPhase <= 0 {
+		return 0
+	}
+	return time.Duration(phases) * link.TransferTime(bytesPerPhase)
+}
+
 // RingTime returns the wall-clock of a bandwidth-optimal ring all-reduce
 // of n bytes across p participants over link: 2(p−1) phases, each moving
 // an n/p chunk between ring neighbours concurrently.
@@ -23,8 +38,7 @@ func RingTime(link netmodel.Link, p, n int) time.Duration {
 	if p <= 1 || n <= 0 {
 		return 0
 	}
-	chunk := (n + p - 1) / p
-	return time.Duration(2*(p-1)) * link.TransferTime(chunk)
+	return ReduceTime(link, 2*(p-1), (n+p-1)/p)
 }
 
 // NaiveTime returns the wall-clock of a gather-then-broadcast all-reduce
@@ -35,7 +49,41 @@ func NaiveTime(link netmodel.Link, p, n int) time.Duration {
 	if p <= 1 || n <= 0 {
 		return 0
 	}
-	return time.Duration(2*(p-1)) * link.TransferTime(n)
+	return ReduceTime(link, 2*(p-1), n)
+}
+
+// TreeLevels returns the number of fan-in rounds a tree reduction with
+// the given fan-out needs to fold p participants into one root: the
+// smallest L with fanout^L ≥ p. One participant needs no rounds.
+func TreeLevels(p, fanout int) int {
+	if p <= 1 {
+		return 0
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	levels, reach := 0, 1
+	for reach < p {
+		reach *= fanout
+		levels++
+	}
+	return levels
+}
+
+// TreeTime returns the wall-clock estimate of a tree reduce-broadcast of
+// n bytes across p participants: TreeLevels fan-in rounds where each
+// leader serially drains fanout−1 full buffers, plus one broadcast
+// round. It is the closed-form counterpart of the TreeReduce exchange
+// strategy's charged path, built from the same ReduceTime kernel the
+// serverful baseline models use.
+func TreeTime(link netmodel.Link, p, fanout, n int) time.Duration {
+	if p <= 1 || n <= 0 {
+		return 0
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	return ReduceTime(link, (fanout-1)*TreeLevels(p, fanout)+1, n)
 }
 
 // MeanDense overwrites dst with the element-wise mean of the gradient

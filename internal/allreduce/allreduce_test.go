@@ -52,6 +52,54 @@ func TestRingLatencyTermLinearInP(t *testing.T) {
 	}
 }
 
+func TestReduceTimeKernel(t *testing.T) {
+	link := netmodel.Link{Latency: time.Millisecond, BandwidthBps: 1e6}
+	if got := ReduceTime(link, 3, 1e6); got != 3*(time.Millisecond+time.Second) {
+		t.Fatalf("ReduceTime = %v", got)
+	}
+	if ReduceTime(link, 0, 100) != 0 || ReduceTime(link, 2, 0) != 0 {
+		t.Fatal("degenerate ReduceTime must be free")
+	}
+	// Ring and naive are pure reparameterizations of the kernel.
+	if RingTime(link, 4, 4000) != ReduceTime(link, 6, 1000) {
+		t.Fatal("RingTime diverged from ReduceTime kernel")
+	}
+	if NaiveTime(link, 4, 4000) != ReduceTime(link, 6, 4000) {
+		t.Fatal("NaiveTime diverged from ReduceTime kernel")
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	cases := []struct{ p, fanout, want int }{
+		{1, 4, 0}, {2, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{16, 4, 2}, {17, 4, 3}, {8, 2, 3}, {9, 2, 4},
+		{7, 0, 3}, // fan-out below 2 clamps to binary
+	}
+	for _, c := range cases {
+		if got := TreeLevels(c.p, c.fanout); got != c.want {
+			t.Fatalf("TreeLevels(%d, %d) = %d, want %d", c.p, c.fanout, got, c.want)
+		}
+	}
+}
+
+func TestTreeTimeBetweenRingAndNaive(t *testing.T) {
+	// Tree fan-in beats the serial gather-through-root for moderate p
+	// but cannot beat the bandwidth-optimal ring at scale.
+	link := netmodel.VMPeerLink()
+	for _, p := range []int{8, 24} {
+		tree := TreeTime(link, p, 4, 10<<20)
+		if naive := NaiveTime(link, p, 10<<20); tree >= naive {
+			t.Fatalf("p=%d: tree %v not faster than naive %v", p, tree, naive)
+		}
+		if ring := RingTime(link, p, 10<<20); tree <= ring {
+			t.Fatalf("p=%d: tree %v not slower than ring %v", p, tree, ring)
+		}
+	}
+	if TreeTime(link, 1, 4, 1<<20) != 0 {
+		t.Fatal("single participant must be free")
+	}
+}
+
 func TestMeanDense(t *testing.T) {
 	a := sparse.Dense{1, 2, 3}
 	b := sparse.Dense{3, 2, 1}

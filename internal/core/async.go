@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"mlless/internal/sparse"
 	"mlless/internal/trace"
 )
 
@@ -261,19 +260,12 @@ func (e *engine) asyncPull(w *Worker, st *asyncState, c *stepCtx) error {
 
 	applied := 0
 	if len(keys) > 0 {
-		vals := e.cl.Redis.MGetViewInto(clk, keys, w.pullVals)
+		vals, n, err := e.xchg.PullKeys(clk, keys, w.pullVals, w.model.Params())
 		w.pullVals = vals
-		for i, buf := range vals {
-			if buf == nil {
-				return fmt.Errorf("core: worker %d async pull at step %d: missing announced update %s",
-					w.id, c.step, keys[i])
-			}
-			m, err := sparse.AddEncoded(w.model.Params(), buf)
-			if err != nil {
-				return fmt.Errorf("core: worker %d async pull at step %d: %w", w.id, c.step, err)
-			}
-			applied += m
+		if err != nil {
+			return fmt.Errorf("core: worker %d async pull at step %d: %w", w.id, c.step, err)
 		}
+		applied = n
 	}
 	e.chargeCompute(w, 4*float64(applied))
 	if e.tr.Enabled() {

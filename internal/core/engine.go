@@ -8,6 +8,7 @@ import (
 	"mlless/internal/consistency"
 	"mlless/internal/cost"
 	"mlless/internal/dataset"
+	"mlless/internal/exchange"
 	"mlless/internal/faas"
 	"mlless/internal/faults"
 	"mlless/internal/fit"
@@ -40,6 +41,8 @@ type engine struct {
 	faults   *faults.Injector
 	tr       *trace.Tracer
 	drv      driver
+	xchg     exchange.Exchange
+	xchgIDs  []int // active-id scratch for exchange calls
 
 	history     []LossPoint
 	removals    []Removal
@@ -61,6 +64,9 @@ func Run(cl *Cluster, job Job) (*Result, error) {
 	job.Spec = job.Spec.withDefaults()
 	if err := job.validate(job.Spec.MemoryMiB); err != nil {
 		return nil, err
+	}
+	if exchange.IsCollective(job.Spec.Exchange) && cl.Redis.NumShards() > 1 {
+		return nil, ErrExchangeShards
 	}
 	e := &engine{
 		cl:       cl,
@@ -130,6 +136,23 @@ func (e *engine) setup() error {
 		return err
 	}
 	e.drv = drv
+
+	e.xchg, err = exchange.New(spec.Exchange, exchange.Env{
+		KV:      e.cl.Redis,
+		Obj:     e.cl.COS,
+		Reg:     e.cl.Metrics,
+		NS:      e.id,
+		Bucket:  "xchg-" + e.id,
+		Dim:     e.job.Model.NumParams(),
+		Workers: spec.Workers,
+		Fanout:  spec.TreeFanout,
+		Charge: func(_ *vclock.Clock, worker int, flops float64) {
+			e.chargeCompute(e.workers[worker], flops)
+		},
+	})
+	if err != nil {
+		return err
+	}
 
 	sup, err := e.invokeAt(e.supName(), spec.MemoryMiB, 0, false)
 	if err != nil {
@@ -206,13 +229,22 @@ func (e *engine) chargeCompute(w *Worker, flops float64) {
 	w.inst.Clock.Advance(time.Duration(secs * float64(time.Second)))
 }
 
-// expireStep emulates Redis key TTL expiry for a completed step's update
-// keys; expiry costs no client time.
+// expireStep emulates server-side TTL expiry for a completed step's
+// exchange data (update keys or collective objects); expiry costs no
+// client time.
 func (e *engine) expireStep(step int, active []*Worker) {
 	var janitor vclock.Clock
-	for _, w := range active {
-		e.cl.Redis.Delete(&janitor, e.updKey(step, w.id))
+	e.xchgIDs = activeIDs(e.xchgIDs, active)
+	e.xchg.Expire(&janitor, step, e.xchgIDs)
+}
+
+// activeIDs rewrites dst with the ids of ws, in pool order.
+func activeIDs(dst []int, ws []*Worker) []int {
+	dst = dst[:0]
+	for _, w := range ws {
+		dst = append(dst, w.id)
 	}
+	return dst
 }
 
 // endInstance terminates (or, if its container already died, reclaims)
@@ -250,14 +282,15 @@ func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, erro
 		lastStep = e.history[len(e.history)-1].Step
 	}
 	var janitor vclock.Clock
+	e.xchgIDs = activeIDs(e.xchgIDs, e.workers)
 	for s := lastSync + 1; s <= lastStep; s++ {
-		for _, w := range e.workers {
-			e.cl.Redis.Delete(&janitor, e.updKey(s, w.id))
-		}
+		e.xchg.Expire(&janitor, s, e.xchgIDs)
 	}
 	for _, k := range e.evictExpire {
 		e.cl.Redis.Delete(&janitor, k)
 	}
+	e.xchg.Teardown()
+	e.xchg.BillInto(&e.meter)
 
 	// The always-on VMs of the MLLess deployment (§6.1): messaging
 	// (C1.4x4) and Redis (M1.2x16), prorated per second over the job.
@@ -287,12 +320,20 @@ func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, erro
 	var stepPhases []StepPhase
 	if e.tr.Enabled() {
 		for _, b := range trace.Timeline(e.tr.Events()) {
+			// A worker emits one reduce span per reduction round; the
+			// phase's per-worker time is the round total, so fold the
+			// per-round samples back over the pool that pulled.
+			var reduce time.Duration
+			if red, pulls := b.Stat("reduce"), b.Stat("pull").N; red.N > 0 && pulls > 0 {
+				reduce = red.Mean * time.Duration(red.N) / time.Duration(pulls)
+			}
 			stepPhases = append(stepPhases, StepPhase{
 				Step:    b.Step,
 				Merge:   b.Stat("merge").Mean,
 				Fetch:   b.Stat("fetch").Mean,
 				Compute: b.Stat("compute").Mean,
 				Publish: b.Stat("publish").Mean,
+				Reduce:  reduce,
 				Pull:    b.Stat("pull").Mean,
 				Barrier: b.Stat("barrier").Max,
 			})

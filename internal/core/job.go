@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlless/internal/consistency"
+	"mlless/internal/exchange"
 	"mlless/internal/faults"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
@@ -25,6 +26,17 @@ var (
 	// ErrAsyncAutoTune reports a job combining the async schedule with
 	// the scale-in auto-tuner, whose evictions assume sync points.
 	ErrAsyncAutoTune = errors.New("core: the scale-in auto-tuner requires a lock-step schedule")
+	// ErrExchangeAsync reports a collective exchange strategy combined
+	// with the async schedule; reduction rounds assume sync points.
+	ErrExchangeAsync = errors.New("core: the scatter/tree exchange strategies require a lock-step schedule")
+	// ErrExchangeStale reports a collective exchange strategy combined
+	// with SSP: a reduced total folds exactly one step's updates, so the
+	// pull window must be a single step.
+	ErrExchangeStale = errors.New("core: the scatter/tree exchange strategies require per-step synchronization (staleness 1)")
+	// ErrExchangeShards reports a collective exchange strategy on a
+	// sharded KV tier: the collectives move updates through object
+	// storage, so extra KV shards would only add idle rented VMs.
+	ErrExchangeShards = errors.New("core: the scatter/tree exchange strategies bypass the KV tier; run them with a single shard")
 )
 
 // Spec is the tunable configuration of a training job.
@@ -77,6 +89,16 @@ type Spec struct {
 	// for this many consecutive steps (0 disables) — a convergence
 	// criterion for jobs without a known target loss.
 	Patience int
+	// Exchange selects the gradient-exchange strategy (see
+	// internal/exchange): "ps" (the default) is the paper's KV-mediated
+	// parameter server; "scatter" and "tree" are storage collectives
+	// that reduce updates through the object store. The collectives
+	// require the lock-step schedule with per-step synchronization and a
+	// single KV shard.
+	Exchange string
+	// TreeFanout is the tree exchange's fan-in degree (0 selects the
+	// default of 4; meaningful only with Exchange == "tree").
+	TreeFanout int
 	// Driver selects the simulation execution core: DriverPar (the
 	// default) runs each lookahead group's workers on a goroutine pool;
 	// DriverSeq runs them one at a time. The two produce byte-identical
@@ -111,6 +133,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Driver == "" {
 		s.Driver = DriverPar
+	}
+	if s.Exchange == "" {
+		s.Exchange = exchange.KindParamServer
 	}
 	return s
 }
@@ -154,6 +179,17 @@ func (j Job) validate(memoryMiB int) error {
 	}
 	if j.Spec.Sync == consistency.Async && j.Spec.AutoTune {
 		return ErrAsyncAutoTune
+	}
+	if err := exchange.Validate(j.Spec.Exchange, j.Spec.TreeFanout); err != nil {
+		return err
+	}
+	if exchange.IsCollective(j.Spec.Exchange) {
+		if j.Spec.Sync == consistency.Async {
+			return ErrExchangeAsync
+		}
+		if j.Spec.Staleness > 1 {
+			return ErrExchangeStale
+		}
 	}
 	if _, err := driverFor(j.Spec.Driver); err != nil {
 		return err

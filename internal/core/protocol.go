@@ -12,8 +12,11 @@ import (
 // through the messaging service. Everything a packet sniffer (or the
 // janitor at teardown) would need to know about a run lives here.
 
+// updKey names a worker's step update — the identity announcements
+// carry. The layout is owned by the exchange strategy; every strategy
+// keeps the historical <job>/upd/<step>/<worker> form.
 func (e *engine) updKey(step, worker int) string {
-	return fmt.Sprintf("%s/upd/%d/%d", e.id, step, worker)
+	return e.xchg.UpdateKey(step, worker)
 }
 func (e *engine) evictKey(worker int) string {
 	return fmt.Sprintf("%s/evict/%d", e.id, worker)

@@ -54,6 +54,9 @@ type StepPhase struct {
 	Compute time.Duration
 	// Publish is the update upload plus broker announcements.
 	Publish time.Duration
+	// Reduce is the collective reduction-round work (zero under the
+	// parameter-server exchange, which has no reduction phase).
+	Reduce time.Duration
 	// Pull is the peer-update download and aggregation.
 	Pull time.Duration
 	// Barrier is the longest BSP barrier wait.

@@ -67,7 +67,7 @@ func (LockStep) Run(e *engine) (*Result, error) {
 
 		if err := e.drv.Phase(active, func(w *Worker) error {
 			c := &w.ctx // per-worker scratch; reset for this pass
-			*c = stepCtx{step: step, pActive: pActive, rejoinAt: e.prevBarrier, relaunch: true}
+			*c = stepCtx{step: step, pActive: pActive, rejoinAt: e.prevBarrier, relaunch: true, active: active}
 			return e.runStates(w, c, stateRecover, stateMerge, stateFetch, stateCompute, statePublish)
 		}); err != nil {
 			return nil, err
@@ -79,10 +79,43 @@ func (LockStep) Run(e *engine) (*Result, error) {
 			}
 		}
 
+		// Collective exchanges reduce the step's updates between the
+		// compute and pull halves: each round is one driver phase whose
+		// members only read data written in earlier phases, with the
+		// pool-wide readyAt marking when those writes are visible.
+		var readyAt time.Duration
+		if syncStep && e.xchg.Collective() {
+			e.xchgIDs = activeIDs(e.xchgIDs, active)
+			ids := e.xchgIDs
+			for r := 0; r < e.xchg.Rounds(pActive); r++ {
+				readyAt = maxClock(active)
+				round := r
+				if err := e.drv.Phase(active, func(w *Worker) error {
+					c := &w.ctx
+					*c = stepCtx{step: step, active: active}
+					if err := e.runStates(w, c, stateRecover); err != nil {
+						return err
+					}
+					start := w.inst.Clock.Now()
+					if err := e.xchg.RunRound(&w.inst.Clock, w.id, step, round, ids, readyAt); err != nil {
+						return fmt.Errorf("core: worker %d reduce round %d at step %d: %w", w.id, round, step, err)
+					}
+					if e.tr.Enabled() && w.inst.Clock.Now() > start {
+						e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "reduce",
+							start, w.inst.Clock.Now(), trace.Int("step", step), trace.Int("round", round))
+					}
+					return e.redoSegmentOnDeath(w, start, fmt.Sprintf("reduce round %d at step %d", round, step))
+				}); err != nil {
+					return nil, err
+				}
+			}
+			readyAt = maxClock(active)
+		}
+
 		if syncStep {
 			if err := e.drv.Phase(active, func(w *Worker) error {
 				c := &w.ctx
-				*c = stepCtx{step: step, fromStep: lastSync, toStep: step, active: active}
+				*c = stepCtx{step: step, fromStep: lastSync, toStep: step, active: active, readyAt: readyAt}
 				return e.runStates(w, c, stateRecover, statePull)
 			}); err != nil {
 				return nil, err
@@ -168,4 +201,16 @@ func (LockStep) Run(e *engine) (*Result, error) {
 	}
 
 	return e.teardown(converged, diverged, lastSync)
+}
+
+// maxClock returns the latest instance-clock instant across workers —
+// the visibility horizon of everything written in a completed phase.
+func maxClock(ws []*Worker) time.Duration {
+	var m time.Duration
+	for _, w := range ws {
+		if now := w.inst.Clock.Now(); now > m {
+			m = now
+		}
+	}
+	return m
 }

@@ -2,12 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"mlless/internal/consistency"
 	"mlless/internal/dataset"
+	"mlless/internal/exchange"
 	"mlless/internal/faas"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
@@ -31,10 +30,12 @@ type Worker struct {
 
 	// Per-step scratch, reused across passes so the steady-state loop
 	// allocates nothing (DESIGN.md §10). ctx is the state-machine pass
-	// context; the rest backs the pull half. Within a phase exactly one
-	// driver goroutine runs this worker's states (see driver.go), so
-	// the scratch needs no locking.
+	// context; pull carries the lock-step pull half into the exchange
+	// strategy; pullKeys/pullVals back the async pull path. Within a
+	// phase exactly one driver goroutine runs this worker's states (see
+	// driver.go), so the scratch needs no locking.
 	ctx       stepCtx
+	pull      exchange.PullCtx
 	pullKeys  []string
 	pullVals  [][]byte
 	announced map[string]bool
@@ -71,9 +72,11 @@ type stepCtx struct {
 	relaunch bool
 
 	// Pull window (statePull): peer updates in (fromStep, toStep] from
-	// every worker in active.
+	// every worker in active. readyAt is the pool-wide instant at which
+	// every reduction-round write is visible (collective exchanges only).
 	fromStep, toStep int
 	active           []*Worker
+	readyAt          time.Duration
 
 	segStart     time.Duration
 	batch        []dataset.Sample
@@ -201,8 +204,10 @@ func (e *engine) stepCompute(w *Worker, c *stepCtx) error {
 	return nil
 }
 
-// stepPublish filters the update for significance, parks the significant
-// part in the KV store, announces its availability and reports the loss.
+// stepPublish filters the update for significance, hands the significant
+// part to the exchange strategy (the parameter server parks it in the KV
+// store; collectives stage it for reduction), announces its availability
+// and reports the loss.
 func (e *engine) stepPublish(w *Worker, c *stepCtx) error {
 	sig := w.filter.Add(c.step, c.upd, w.model.Params())
 	e.chargeCompute(w, 2*float64(sig.Len()))
@@ -216,11 +221,23 @@ func (e *engine) stepPublish(w *Worker, c *stepCtx) error {
 			c.computeStart, publishStart, trace.Int("step", c.step))
 	}
 	// The payload and both control messages stage through one pooled
-	// wire buffer: the KV store copies on Set and the broker copies on
-	// Publish, so the buffer is reusable the moment each call returns.
+	// wire buffer: the exchange medium copies on write and the broker
+	// copies on Publish, so the buffer is reusable the moment each call
+	// returns. The filter owns sig until its next Add, which is after
+	// the pull half — so a collective exchange may retain it as the
+	// worker's own contribution to subtract at pull time.
+	var ids []int
+	if e.xchg.Collective() {
+		w.pull.ActiveIDs = activeIDs(w.pull.ActiveIDs, c.active)
+		ids = w.pull.ActiveIDs
+		w.pull.OwnSig = sig
+	}
 	wb := getWireBuf()
-	payload := sig.EncodeTo(wb.b[:0])
-	e.cl.Redis.Set(clk, e.updKey(c.step, w.id), payload)
+	payload, err := e.xchg.Publish(clk, w.id, c.step, sig, ids, wb.b[:0])
+	if err != nil {
+		putWireBuf(wb, payload)
+		return fmt.Errorf("core: worker %d: publish: %w", w.id, err)
+	}
 	payloadLen := len(payload)
 
 	var ann []byte
@@ -236,7 +253,7 @@ func (e *engine) stepPublish(w *Worker, c *stepCtx) error {
 	}
 	report := lossReport{Worker: uint32(w.id), Step: uint32(c.step), Loss: c.loss,
 		UpdateBytes: uint32(payloadLen)}.appendTo(ann[:0])
-	err := e.cl.Broker.Publish(clk, e.lossQueue(), report)
+	err = e.cl.Broker.Publish(clk, e.lossQueue(), report)
 	putWireBuf(wb, report)
 	if err != nil {
 		return fmt.Errorf("core: worker %d: loss report: %w", w.id, err)
@@ -275,31 +292,22 @@ func (e *engine) stepPull(w *Worker, c *stepCtx) error {
 		announced[e.updKey(int(a.Step), int(a.Worker))] = true
 	}
 
-	keys := w.pullKeys[:0]
-	for _, p := range c.active {
-		if p.id != w.id {
-			for s := c.fromStep + 1; s <= c.toStep; s++ {
-				keys = append(keys, e.updKey(s, p.id))
-			}
-		}
-	}
-	w.pullKeys = keys
-	vals := e.cl.Redis.MGetViewInto(clk, keys, w.pullVals)
-	w.pullVals = vals
-	applied := 0
-	for i, buf := range vals {
-		if buf == nil {
-			return fmt.Errorf("core: worker %d sync at step %d: missing peer update %s (announced: %s)",
-				w.id, c.toStep, keys[i], announcedSet(announced))
-		}
-		// Stream the encoded update straight into the replica's dense
-		// parameters — equivalent to decode + ApplyUpdate, without the
-		// intermediate map.
-		n, err := sparse.AddEncoded(w.model.Params(), buf)
-		if err != nil {
-			return fmt.Errorf("core: worker %d sync at step %d: %w", w.id, c.toStep, err)
-		}
-		applied += n
+	// Hand the pull to the exchange strategy: the parameter server
+	// batch-reads the window's update keys and streams each encoded
+	// update straight into the replica's dense parameters; collectives
+	// wait for the reduced total and apply it instead.
+	p := &w.pull
+	p.Worker = w.id
+	p.Clock = clk
+	p.FromStep = c.fromStep
+	p.Step = c.toStep
+	p.ActiveIDs = activeIDs(p.ActiveIDs, c.active)
+	p.Params = w.model.Params()
+	p.ReadyAt = c.readyAt
+	p.Announced = announced
+	applied, err := e.xchg.Pull(p)
+	if err != nil {
+		return fmt.Errorf("core: worker %d sync at step %d: %w", w.id, c.toStep, err)
 	}
 	// Deserialize-and-add work: ~4 effective ops per pulled coordinate.
 	e.chargeCompute(w, 4*float64(applied))
@@ -310,18 +318,4 @@ func (e *engine) stepPull(w *Worker, c *stepCtx) error {
 	// A death mid-pull loses the fetched-but-unapplied updates; the
 	// replacement redoes the pull (same data, time recharged).
 	return e.redoSegmentOnDeath(w, segStart, fmt.Sprintf("sync at step %d", c.toStep))
-}
-
-// announcedSet renders the announce-derived expected key set, sorted,
-// for the missing-update diagnostic.
-func announcedSet(announced map[string]bool) string {
-	if len(announced) == 0 {
-		return "none"
-	}
-	keys := make([]string, 0, len(announced))
-	for k := range announced {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return "[" + strings.Join(keys, " ") + "]"
 }

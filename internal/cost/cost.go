@@ -6,8 +6,11 @@
 //     second — this favors the serverful baseline exactly as in the paper.
 //   - Cloud functions are billed per GB-second of execution; the paper's
 //     2 GB workers cost 3.4e-5 $/s.
-//   - Object storage cost is excluded because it is equivalent across all
-//     systems.
+//   - Object storage cost for the mini-batch traffic is excluded because
+//     it is equivalent across all systems. Request traffic of the
+//     collective exchange strategies (internal/exchange) is the
+//     exception: it is what differs across strategies, so it is billed
+//     per request at COS class rates.
 //
 // MLLess job cost = FaaS workers + supervisor function + the messaging VM
 // (C1.4x4) + the Redis VM (M1.2x16). PyTorch job cost = the rented B1.4x8
@@ -36,6 +39,12 @@ const (
 	// PriceFunctionPerGBSecond prices cloud-function execution. A 2 GB
 	// function costs 3.4e-5 $/s (0.122 $/hour), per Table 2.
 	PriceFunctionPerGBSecond = 1.7e-5
+	// PriceCOSClassARequest prices object-storage mutating requests
+	// (PUT, LIST); PriceCOSClassBRequest prices retrievals (GET).
+	// DELETE is free. IBM COS standard-tier us-east rates of the paper's
+	// pricing snapshot: $5.20 and $0.40 per 10k requests.
+	PriceCOSClassARequest = 5.2e-6
+	PriceCOSClassBRequest = 4e-7
 )
 
 // VMCost prorates an hourly VM price over duration d, per second.
@@ -63,7 +72,7 @@ func PerfPerDollar(execTime time.Duration, dollars float64) float64 {
 type Component struct {
 	// Name identifies the element, e.g. "worker-3" or "redis-vm".
 	Name string
-	// Kind is "function", "vm" or "memo". Memo components are
+	// Kind is "function", "vm", "requests" or "memo". Memo components are
 	// informational lines whose dollars are already contained in other
 	// components; they are excluded from totals.
 	Kind string
@@ -88,6 +97,12 @@ func (m *Meter) AddFunction(name string, d time.Duration, memGiB float64) {
 // AddVM bills a VM rental prorated per second.
 func (m *Meter) AddVM(name string, hourlyPrice float64, d time.Duration) {
 	m.add(Component{Name: name, Kind: "vm", Duration: d, Dollars: VMCost(hourlyPrice, d)})
+}
+
+// AddRequests bills n storage requests at a per-request price. The
+// duration stays zero: request charges buy operations, not time.
+func (m *Meter) AddRequests(name string, n int64, perRequest float64) {
+	m.add(Component{Name: name, Kind: "requests", Dollars: float64(n) * perRequest})
 }
 
 // AddMemo records an informational line — e.g. the engine's fault

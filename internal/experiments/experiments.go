@@ -169,6 +169,7 @@ func Registry() []struct {
 		{"abl-faults", AblFaults},
 		{"abl-shards", AblShards},
 		{"abl-async", AblAsync},
+		{"abl-exchange", AblExchange},
 	}
 }
 

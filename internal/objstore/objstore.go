@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mlless/internal/netmodel"
 	"mlless/internal/substrate"
@@ -112,6 +113,137 @@ func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
 	s.cBytesRead.Add(int64(len(cp)))
 	s.pipe.Charge(clk, "get", bucket+"/"+key, len(cp), s.pipe.TransferTime(len(cp)))
 	return cp, nil
+}
+
+// streamBandwidth returns the effective per-stream bytes/second of n
+// concurrent transfers: each stream sustains at most the store's
+// per-stream rate, and together they cannot exceed the caller's NIC
+// line rate (every function and VM in the deployment has a 1 Gbit/s
+// NIC).
+func (s *Store) streamBandwidth(n int) float64 {
+	bw := s.pipe.Link().BandwidthBps
+	if bw <= 0 {
+		return 0
+	}
+	if agg := netmodel.GbpsNIC / float64(n); n > 1 && agg < bw {
+		return agg
+	}
+	return bw
+}
+
+// streamTime is TransferTime under the per-stream bandwidth of an
+// n-way concurrent transfer.
+func (s *Store) streamTime(n, bytes int) time.Duration {
+	d := s.pipe.Link().Latency
+	if bw := s.streamBandwidth(n); bw > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// PutMulti stores copies of vals[i] under bucket/keys[i], issuing the
+// writes as concurrent streams: every branch pays the first-byte
+// latency once, the streams share the caller's NIC, and the clock
+// advances by the slowest branch — the upload half of a storage-mediated
+// collective. keys and vals must have equal length.
+func (s *Store) PutMulti(clk *vclock.Clock, bucket string, keys []string, vals [][]byte) {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("objstore: PutMulti with %d keys, %d values", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		s.pipe.Charge(clk, "mput", bucket+"/", 0, s.pipe.TransferTime(0))
+		return
+	}
+	start := clk.Now()
+	var max time.Duration
+	for i, key := range keys {
+		label := bucket + "/" + key
+		base := s.streamTime(len(keys), len(vals[i]))
+		cost := s.pipe.Cost("mput", label, start, base)
+		if cost > max {
+			max = cost
+		}
+		if s.pipe.Enabled() {
+			s.pipe.TraceRange(clk, "mput", label, start, start+cost, base, len(vals[i]))
+		}
+	}
+
+	s.mu.Lock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = make(map[string][]byte)
+		s.buckets[bucket] = b
+	}
+	for i, key := range keys {
+		cp := make([]byte, len(vals[i]))
+		copy(cp, vals[i])
+		b[key] = cp
+		s.cPuts.Inc()
+		s.cBytesWritten.Add(int64(len(vals[i])))
+	}
+	s.mu.Unlock()
+	clk.Advance(max)
+}
+
+// GetMultiViewInto reads bucket/keys[i] as concurrent streams and
+// returns zero-copy views of the stored objects, writing into out
+// (resized, reallocating only when its capacity is short; pass the
+// returned slice back to reuse it). Missing keys yield nil entries and
+// are charged one round trip each. Views are safe to retain: Put copies
+// on write and replaces stored slices wholesale, so a view is an
+// immutable snapshot that later writes or deletes never mutate.
+// Charging mirrors PutMulti: each branch pays the first-byte latency,
+// the streams share the caller's NIC, and the clock advances by the
+// slowest branch.
+func (s *Store) GetMultiViewInto(clk *vclock.Clock, bucket string, keys []string, out [][]byte) [][]byte {
+	out = resizeViews(out, len(keys))
+	if len(keys) == 0 {
+		s.pipe.Charge(clk, "mget", bucket+"/", 0, s.pipe.TransferTime(0))
+		return out
+	}
+
+	s.mu.Lock()
+	b := s.buckets[bucket]
+	for i, key := range keys {
+		out[i] = b[key]
+	}
+	s.mu.Unlock()
+
+	start := clk.Now()
+	var max time.Duration
+	for i, key := range keys {
+		label := bucket + "/" + key
+		s.cGets.Inc()
+		var base time.Duration
+		if out[i] == nil {
+			base = s.pipe.RTT()
+		} else {
+			base = s.streamTime(len(keys), len(out[i]))
+			s.cBytesRead.Add(int64(len(out[i])))
+		}
+		cost := s.pipe.Cost("mget", label, start, base)
+		if cost > max {
+			max = cost
+		}
+		if s.pipe.Enabled() {
+			s.pipe.TraceRange(clk, "mget", label, start, start+cost, base, len(out[i]))
+		}
+	}
+	clk.Advance(max)
+	return out
+}
+
+// resizeViews returns out with length n and every entry nil, reusing
+// its backing array when large enough.
+func resizeViews(out [][]byte, n int) [][]byte {
+	if cap(out) < n {
+		return make([][]byte, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = nil
+	}
+	return out
 }
 
 // Size returns the byte size of an object without transferring it

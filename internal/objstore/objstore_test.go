@@ -136,6 +136,108 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+func TestPutMultiGetMulti(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.PutMulti(&clk, "x", []string{"a", "b"}, [][]byte{[]byte("va"), []byte("vb")})
+	out := s.GetMultiViewInto(&clk, "x", []string{"a", "missing", "b"}, nil)
+	if string(out[0]) != "va" || out[1] != nil || string(out[2]) != "vb" {
+		t.Fatalf("views = %q", out)
+	}
+}
+
+func TestGetMultiViewIntoReusesAndResets(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	s.PutMulti(&clk, "x", []string{"a", "b", "c"}, [][]byte{{1}, {2}, {3}})
+
+	out := s.GetMultiViewInto(&clk, "x", []string{"a", "b", "c"}, nil)
+	if len(out) != 3 || out[0][0] != 1 || out[1][0] != 2 || out[2][0] != 3 {
+		t.Fatalf("first read = %v", out)
+	}
+
+	// A shorter read through the same slice must reuse its backing
+	// array, and a now-missing key must come back nil, not a stale
+	// view from the previous call.
+	out2 := s.GetMultiViewInto(&clk, "x", []string{"missing", "b"}, out)
+	if &out2[0] != &out[0] {
+		t.Fatal("GetMultiViewInto reallocated despite sufficient capacity")
+	}
+	if out2[0] != nil || out2[1][0] != 2 {
+		t.Fatalf("reused read = %v", out2)
+	}
+
+	// Growth past capacity reallocates.
+	out3 := s.GetMultiViewInto(&clk, "x", []string{"a", "b", "c", "a", "b"}, out2)
+	if len(out3) != 5 || out3[3][0] != 1 || out3[4][0] != 2 {
+		t.Fatalf("grown read = %v", out3)
+	}
+}
+
+func TestMultiViewsAreImmutableSnapshots(t *testing.T) {
+	s := fastStore()
+	var clk vclock.Clock
+	val := []byte{7}
+	s.PutMulti(&clk, "x", []string{"k"}, [][]byte{val})
+	val[0] = 9 // caller buffer must have been copied at the boundary
+	view := s.GetMultiViewInto(&clk, "x", []string{"k"}, nil)[0]
+	if view[0] != 7 {
+		t.Fatal("PutMulti aliased the caller's buffer")
+	}
+
+	// Overwriting and deleting the key must not mutate the view: Put
+	// replaces stored slices wholesale, so retained views stay valid —
+	// the contract zero-copy exchange buffers rely on.
+	s.Put(&clk, "x", "k", []byte{8})
+	s.Delete(&clk, "x", "k")
+	if view[0] != 7 {
+		t.Fatal("later write mutated a retained view")
+	}
+}
+
+func TestMultiCharging(t *testing.T) {
+	link := netmodel.Link{Latency: 10 * time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	vals := [][]byte{make([]byte, 1e6), make([]byte, 5e5)}
+	s.PutMulti(&clk, "b", []string{"big", "small"}, vals)
+	// Two streams of a 1 MB/s link fit inside the NIC line rate, so
+	// each keeps its full per-stream bandwidth; the slowest branch
+	// (1 MB at 1 MB/s, plus first-byte latency) sets the elapsed time.
+	want := 10*time.Millisecond + time.Second
+	if clk.Now() != want {
+		t.Fatalf("PutMulti charged %v, want %v", clk.Now(), want)
+	}
+
+	var getClk vclock.Clock
+	s.GetMultiViewInto(&getClk, "b", []string{"big", "small"}, nil)
+	if getClk.Now() != want {
+		t.Fatalf("GetMultiViewInto charged %v, want %v", getClk.Now(), want)
+	}
+
+	// A missing key costs one round trip on its branch; with the other
+	// branch transferring 1 MB the slowest branch still dominates.
+	var missClk vclock.Clock
+	s.GetMultiViewInto(&missClk, "b", []string{"big", "absent"}, nil)
+	if missClk.Now() != want {
+		t.Fatalf("miss branch charged %v, want %v", missClk.Now(), want)
+	}
+
+	// Many concurrent streams split the NIC: 4 streams of a link faster
+	// than NIC/4 are clamped to NIC/4 each.
+	fat := New(netmodel.Link{Latency: time.Millisecond, BandwidthBps: netmodel.GbpsNIC})
+	var fatClk vclock.Clock
+	quarter := make([][]byte, 4)
+	for i := range quarter {
+		quarter[i] = make([]byte, 1e6)
+	}
+	fat.PutMulti(&fatClk, "b", []string{"0", "1", "2", "3"}, quarter)
+	wantFat := time.Millisecond + time.Duration(1e6/(netmodel.GbpsNIC/4)*float64(time.Second))
+	if fatClk.Now() != wantFat {
+		t.Fatalf("4-stream PutMulti charged %v, want %v", fatClk.Now(), wantFat)
+	}
+}
+
 func TestDeleteBucket(t *testing.T) {
 	s := fastStore()
 	var clk vclock.Clock

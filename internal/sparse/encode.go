@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Binary layout of an encoded sparse vector:
@@ -146,6 +147,59 @@ func AddEncoded(d Dense, buf []byte) (int, error) {
 		off += sparseEntrySize
 	}
 	return n, nil
+}
+
+// AddEncodedSparse streams an encoded sparse vector (the Encode layout)
+// into the sparse accumulator v — the reduction kernel of the storage
+// collectives, which fold many encoded contributions into one partial
+// sum without materializing intermediate maps. Each coordinate's
+// contributions accumulate in call order, so a fixed fold order yields
+// bit-deterministic sums. It returns the number of entries folded.
+func AddEncodedSparse(v *Vector, buf []byte) (int, error) {
+	if len(buf) < sparseHeaderSize {
+		return 0, fmt.Errorf("sparse: fold encoded: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	want := sparseHeaderSize + sparseEntrySize*n
+	if len(buf) != want {
+		return 0, fmt.Errorf("sparse: fold encoded: length %d, want %d for %d entries", len(buf), want, n)
+	}
+	off := sparseHeaderSize
+	for k := 0; k < n; k++ {
+		i := binary.LittleEndian.Uint32(buf[off:])
+		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		v.Add(i, val)
+		off += sparseEntrySize
+	}
+	return n, nil
+}
+
+// AppendEncodedRange appends to dst the encoding of the sub-vector of
+// buf whose indices lie in [lo, hi), and returns the extended slice.
+// Because encoded entries are ascending, the range is one contiguous
+// run: the result is a patched header plus a single copy, no
+// re-encoding. This is how the scatter exchange splits one encoded
+// update into per-chunk contributions.
+func AppendEncodedRange(dst, buf []byte, lo, hi uint32) ([]byte, error) {
+	if len(buf) < sparseHeaderSize {
+		return dst, fmt.Errorf("sparse: split encoded: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	want := sparseHeaderSize + sparseEntrySize*n
+	if len(buf) != want {
+		return dst, fmt.Errorf("sparse: split encoded: length %d, want %d for %d entries", len(buf), want, n)
+	}
+	entry := func(k int) uint32 {
+		return binary.LittleEndian.Uint32(buf[sparseHeaderSize+k*sparseEntrySize:])
+	}
+	start := sort.Search(n, func(k int) bool { return entry(k) >= lo })
+	end := start + sort.Search(n-start, func(k int) bool { return entry(start+k) >= hi })
+	m := end - start
+	dst = ensureCap(dst, sparseHeaderSize+m*sparseEntrySize)
+	off := len(dst)
+	dst = dst[:off+sparseHeaderSize]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(m))
+	return append(dst, buf[sparseHeaderSize+start*sparseEntrySize:sparseHeaderSize+end*sparseEntrySize]...), nil
 }
 
 // DenseEncodedSize returns the encoded size of a dense vector of length n.

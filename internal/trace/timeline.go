@@ -10,10 +10,11 @@ import (
 // PhaseNames are the engine-phase span names that make up a training
 // step's time decomposition (the §5 t_step breakdown): the mini-batch
 // fetch from object storage, local gradient/optimizer/filter compute,
-// publishing the significant update, pulling and merging peer updates,
-// and the BSP barrier wait. "merge" is the one-shot reintegration of an
-// evicted peer's replica.
-var PhaseNames = []string{"merge", "fetch", "compute", "publish", "pull", "barrier"}
+// publishing the significant update, collective reduction rounds,
+// pulling and merging peer updates, and the BSP barrier wait. "merge"
+// is the one-shot reintegration of an evicted peer's replica; "reduce"
+// occurs only under the scatter/tree exchange strategies.
+var PhaseNames = []string{"merge", "fetch", "compute", "publish", "reduce", "pull", "barrier"}
 
 // PhaseStat aggregates one phase's durations across workers.
 type PhaseStat struct {
@@ -124,8 +125,8 @@ func WriteTimeline(w io.Writer, events []Event) error {
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%8.2f", float64(d)/float64(time.Millisecond)) }
 
-	if _, err := fmt.Fprintf(w, "%6s %8s %8s %8s %8s %8s %8s %4s\n",
-		"step", "merge", "fetch", "compute", "publish", "pull", "barrier", "n"); err != nil {
+	if _, err := fmt.Fprintf(w, "%6s %8s %8s %8s %8s %8s %8s %8s %4s\n",
+		"step", "merge", "fetch", "compute", "publish", "reduce", "pull", "barrier", "n"); err != nil {
 		return err
 	}
 	all := make(map[string][]time.Duration)
@@ -146,8 +147,8 @@ func WriteTimeline(w io.Writer, events []Event) error {
 				all[phase] = append(all[phase], v)
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%6d %s %s %s %s %s %s %4d\n",
-			b.Step, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], n); err != nil {
+		if _, err := fmt.Fprintf(w, "%6d %s %s %s %s %s %s %s %4d\n",
+			b.Step, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], n); err != nil {
 			return err
 		}
 	}

@@ -49,6 +49,7 @@ import (
 	"mlless/internal/core"
 	"mlless/internal/cost"
 	"mlless/internal/dataset"
+	"mlless/internal/exchange"
 	"mlless/internal/faults"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
@@ -196,6 +197,29 @@ const (
 	// peer updates as they are announced. Composes with the ISP filter.
 	Async = consistency.Async
 )
+
+// Gradient-exchange strategies (Spec.Exchange). They move the same
+// per-step updates but through different storage patterns, trading
+// request fees against transfer serialization (see DESIGN.md §12).
+const (
+	// ExchangeParamServer is the paper's indirect path: each worker
+	// parks its update in the KV tier and every peer reads all P-1 of
+	// them. The default; reproduces the seed traces byte-for-byte.
+	ExchangeParamServer = exchange.KindParamServer
+	// ExchangeScatter is scatter-reduce over the object store: each
+	// worker reduces one chunk of the coordinate space and republishes
+	// the reduced chunk.
+	ExchangeScatter = exchange.KindScatter
+	// ExchangeTree is hierarchical tree-reduce over the object store
+	// with configurable fan-out (Spec.TreeFanout).
+	ExchangeTree = exchange.KindTree
+)
+
+// ValidateExchange reports whether kind names a known exchange strategy
+// and fanout is a usable tree fan-out for it (0 means the default).
+func ValidateExchange(kind string, fanout int) error {
+	return exchange.Validate(kind, fanout)
+}
 
 // NewCluster builds a simulated deployment with the paper's link
 // parameters and FaaS limits.
