@@ -89,6 +89,10 @@ func BenchmarkAblSSP(b *testing.B) { benchExperiment(b, "abl-ssp") }
 // BenchmarkAblAsync compares the barrier-free async schedule to BSP/ISP.
 func BenchmarkAblAsync(b *testing.B) { benchExperiment(b, "abl-async") }
 
+// BenchmarkAblDataset compares the batch and shard dataset tiers and
+// measures streaming shard generation (ISSUE 8).
+func BenchmarkAblDataset(b *testing.B) { benchExperiment(b, "abl-dataset") }
+
 // BenchmarkTrainQuickPMF measures one end-to-end MLLess training run
 // (PMF, ISP, 4 workers) — the library's core path.
 func BenchmarkTrainQuickPMF(b *testing.B) {

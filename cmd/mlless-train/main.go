@@ -6,6 +6,7 @@
 //	mlless-train -model pmf -dataset ml10m -workers 24 -sync isp -v 0.7 -autotune
 //	mlless-train -model lr -dataset criteo -workers 12 -target 0.58
 //	mlless-train -model pmf -dataset ml10m -system pytorch
+//	mlless-train -model lr -dataset criteo -data shard
 package main
 
 import (
@@ -39,6 +40,7 @@ func run() error {
 		exch      = flag.String("exchange", "ps", "gradient exchange: ps (parameter server) | scatter (scatter-reduce) | tree (tree-reduce)")
 		fanout    = flag.Int("tree-fanout", 0, "tree-reduce fan-out, >= 2 (0 = default; requires -exchange tree)")
 		driver    = flag.String("driver", "par", "simulation driver: par (goroutine pool) | seq (single-threaded); results are byte-identical")
+		dataTier  = flag.String("data", "batch", "dataset tier: batch (row-encoded objects) | shard (columnar shards, one ranged read per step); losses are bit-identical")
 		target    = flag.Float64("target", 0, "stop at this loss (0 = run max-steps)")
 		maxSteps  = flag.Int("max-steps", 500, "step cap")
 		lr        = flag.Float64("lr", 0, "learning rate (0 = model default)")
@@ -112,8 +114,15 @@ func run() error {
 		}
 	}
 
+	if *dataTier != mlless.DataBatch && *dataTier != mlless.DataShard {
+		return fmt.Errorf("-data must be %q or %q, got %q", mlless.DataBatch, mlless.DataShard, *dataTier)
+	}
+	if *dataTier == mlless.DataShard && *system != "mlless" {
+		return fmt.Errorf("-data shard is an MLLess engine tier; it cannot be combined with -system %s", *system)
+	}
+
 	cluster := mlless.NewClusterWithShards(*kvShards)
-	job, err := buildJob(cluster, *modelName, *data, *batch, *lr, *seed)
+	job, err := buildJob(cluster, *modelName, *data, *dataTier, *batch, *lr, *seed)
 	if err != nil {
 		return err
 	}
@@ -234,20 +243,29 @@ func run() error {
 	return nil
 }
 
-func buildJob(cluster *mlless.Cluster, modelName, data string, batch int, lr float64, seed uint64) (mlless.Job, error) {
+func buildJob(cluster *mlless.Cluster, modelName, data, dataTier string, batch int, lr float64, seed uint64) (mlless.Job, error) {
 	switch {
 	case modelName == "lr" && data == "criteo":
 		cfg := mlless.DefaultCriteoConfig()
 		cfg.Seed = seed
 		ds := mlless.GenerateCriteo(cfg)
-		n := mlless.StageDataset(cluster, ds, "criteo", batch, seed)
-		if err := mlless.NormalizeDataset(cluster, "criteo", n, cfg.NumericFeatures); err != nil {
-			return mlless.Job{}, err
+		var n int
+		if dataTier == mlless.DataShard {
+			// The shard tier normalizes before staging; the batch tier
+			// after. The two orderings produce bit-identical samples.
+			mlless.NormalizeInMemory(ds, cfg.NumericFeatures)
+			n = mlless.StageDatasetShards(cluster, ds, "criteo", batch, 0, seed)
+		} else {
+			n = mlless.StageDataset(cluster, ds, "criteo", batch, seed)
+			if err := mlless.NormalizeDataset(cluster, "criteo", n, cfg.NumericFeatures); err != nil {
+				return mlless.Job{}, err
+			}
 		}
 		if lr == 0 {
 			lr = 0.01
 		}
 		return mlless.Job{
+			Spec:      mlless.Spec{Data: dataTier},
 			Model:     mlless.NewLogReg(ds.FeatureDim, 1e-4),
 			Optimizer: mlless.NewAdam(mlless.Constant(lr)),
 			Bucket:    "criteo", NumBatches: n, BatchSize: batch,
@@ -266,11 +284,17 @@ func buildJob(cluster *mlless.Cluster, modelName, data string, batch int, lr flo
 		}
 		cfg.Seed = seed
 		ds := mlless.GenerateMovieLens(cfg)
-		n := mlless.StageDataset(cluster, ds, "ml", batch, seed)
+		var n int
+		if dataTier == mlless.DataShard {
+			n = mlless.StageDatasetShards(cluster, ds, "ml", batch, 0, seed)
+		} else {
+			n = mlless.StageDataset(cluster, ds, "ml", batch, seed)
+		}
 		if lr == 0 {
 			lr = 20
 		}
 		return mlless.Job{
+			Spec:      mlless.Spec{Data: dataTier},
 			Model:     mlless.NewPMF(cfg.Users, cfg.Items, cfg.Rank, ds.RatingMean, 0.02, seed),
 			Optimizer: mlless.NewNesterov(mlless.Constant(lr), 0.9),
 			Bucket:    "ml", NumBatches: n, BatchSize: batch,

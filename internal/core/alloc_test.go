@@ -7,11 +7,9 @@ import (
 	"mlless/internal/consistency"
 )
 
-// stepMallocs runs a small PMF job and returns the process allocation
-// count it incurred.
-func stepMallocs(t testing.TB, steps int, spec Spec) float64 {
-	cl, job := testPMFJob(t, 4, spec)
-	job.Spec.MaxSteps = steps
+// runMallocs runs a job and returns the process allocation count it
+// incurred.
+func runMallocs(t testing.TB, cl *Cluster, job Job) float64 {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
@@ -20,6 +18,14 @@ func stepMallocs(t testing.TB, steps int, spec Spec) float64 {
 	}
 	runtime.ReadMemStats(&m1)
 	return float64(m1.Mallocs - m0.Mallocs)
+}
+
+// stepMallocs runs a small PMF job and returns the process allocation
+// count it incurred.
+func stepMallocs(t testing.TB, steps int, spec Spec) float64 {
+	cl, job := testPMFJob(t, 4, spec)
+	job.Spec.MaxSteps = steps
+	return runMallocs(t, cl, job)
 }
 
 // TestSteadyStateStepAllocsBounded pins the marginal allocation cost of

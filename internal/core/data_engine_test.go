@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mlless/internal/consistency"
+	"mlless/internal/dataset"
+	"mlless/internal/model"
+	"mlless/internal/optimizer"
+	"mlless/internal/vclock"
+)
+
+// testPMFJobShard is testPMFJob staged on the columnar shard tier:
+// identical samples (same generator config, same staging seed), but
+// laid out as shard blobs behind -data shard.
+func testPMFJobShard(t testing.TB, workers int, spec Spec) (*Cluster, Job) {
+	t.Helper()
+	cl := NewCluster()
+	cfg := dataset.MovieLensConfig{Users: 150, Items: 600, Ratings: 30000, Rank: 8, NoiseStd: 0.6, Seed: 21}
+	ds := dataset.GenerateMovieLens(cfg)
+	var clk vclock.Clock
+	n := dataset.StageShards(ds, cl.COS, &clk, "ml", 500, dataset.DefaultBatchesPerShard, 2)
+	spec.Workers = workers
+	spec.Data = DataShard
+	return cl, Job{
+		Spec:       spec,
+		Model:      model.NewPMF(cfg.Users, cfg.Items, cfg.Rank, ds.RatingMean, 0.02, 31),
+		Optimizer:  optimizer.NewNesterov(optimizer.Constant(1.0), 0.9),
+		Bucket:     "ml",
+		NumBatches: n,
+		BatchSize:  500,
+	}
+}
+
+// testLRJobShard is testLRJob on the shard tier. The batch tier
+// normalizes after staging (NormalizeMinMax); the shard tier normalizes
+// in place and stages the result — TestNormalizeMatchesInPlace in
+// internal/dataset pins the two orderings byte-equal.
+func testLRJobShard(t testing.TB, workers int, spec Spec) (*Cluster, Job) {
+	t.Helper()
+	cl := NewCluster()
+	cfg := dataset.CriteoConfig{
+		Samples: 6000, NumericFeatures: 5, CategoricalFeatures: 8,
+		HashDim: 2000, Cardinality: 100, Separation: 1.6, Seed: 11,
+	}
+	ds := dataset.GenerateCriteo(cfg)
+	dataset.NormalizeInPlace(ds, cfg.NumericFeatures)
+	var clk vclock.Clock
+	n := dataset.StageShards(ds, cl.COS, &clk, "criteo", 250, dataset.DefaultBatchesPerShard, 1)
+	spec.Workers = workers
+	spec.Data = DataShard
+	return cl, Job{
+		Spec:       spec,
+		Model:      model.NewLogReg(cfg.HashDim+cfg.NumericFeatures, 0),
+		Optimizer:  optimizer.NewAdamDefaults(optimizer.Constant(0.05)),
+		Bucket:     "criteo",
+		NumBatches: n,
+		BatchSize:  250,
+	}
+}
+
+// assertLossParity runs both jobs and requires bitwise-equal loss
+// histories. Fetch charges legitimately differ between the tiers (a
+// ranged block read is not the same byte count as an encoded batch
+// object), so times and bills are NOT compared — only the numerics.
+func assertLossParity(t *testing.T, clB *Cluster, jobB Job, clS *Cluster, jobS Job) {
+	t.Helper()
+	resB, err := Run(clB, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := Run(clS, jobS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Steps != resS.Steps {
+		t.Fatalf("steps diverge: batch %d, shard %d", resB.Steps, resS.Steps)
+	}
+	if resB.Converged != resS.Converged {
+		t.Fatalf("convergence diverges: batch %v, shard %v", resB.Converged, resS.Converged)
+	}
+	for i := range resB.History {
+		b, s := resB.History[i], resS.History[i]
+		if b.Loss != s.Loss || b.RawLoss != s.RawLoss {
+			t.Fatalf("step %d: batch loss (%v raw %v) vs shard loss (%v raw %v) — must be bitwise equal",
+				b.Step, b.Loss, b.RawLoss, s.Loss, s.RawLoss)
+		}
+	}
+}
+
+// TestDataShardLossMatchesBatchPMF pins the tentpole contract: the
+// shard tier trains the exact same model as the batch tier — loss
+// histories bitwise equal under BSP and ISP.
+func TestDataShardLossMatchesBatchPMF(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"bsp", Spec{MaxSteps: 60}},
+		{"isp", Spec{MaxSteps: 60, Sync: consistency.ISP, Significance: 0.01}},
+		{"ssp", Spec{MaxSteps: 60, Staleness: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clB, jobB := testPMFJob(t, 4, tc.spec)
+			clS, jobS := testPMFJobShard(t, 4, tc.spec)
+			assertLossParity(t, clB, jobB, clS, jobS)
+		})
+	}
+}
+
+// TestDataShardLossMatchesBatchLR covers the Criteo path, including the
+// min-max normalization that the two tiers apply at different points
+// (post-staging streaming pass vs pre-staging in-place pass).
+func TestDataShardLossMatchesBatchLR(t *testing.T) {
+	clB, jobB := testLRJob(t, 4, Spec{MaxSteps: 40})
+	clS, jobS := testLRJobShard(t, 4, Spec{MaxSteps: 40})
+	assertLossParity(t, clB, jobB, clS, jobS)
+}
+
+// noViewModel wraps a real model but hides its view interface.
+type noViewModel struct{ model.Model }
+
+func (m noViewModel) Clone() model.Model { return noViewModel{m.Model.Clone()} }
+
+func TestDataValidation(t *testing.T) {
+	cl, job := testPMFJob(t, 2, Spec{MaxSteps: 1})
+	job.Spec.Data = "columnar"
+	if _, err := Run(cl, job); !errors.Is(err, ErrUnknownData) {
+		t.Fatalf("unknown data tier: got %v, want ErrUnknownData", err)
+	}
+
+	cl2, job2 := testPMFJobShard(t, 2, Spec{MaxSteps: 1})
+	job2.Model = noViewModel{job2.Model}
+	if _, err := Run(cl2, job2); !errors.Is(err, ErrModelNoView) {
+		t.Fatalf("non-view model on shard tier: got %v, want ErrModelNoView", err)
+	}
+}
+
+// TestDataShardMissingManifest: a shard job against a bucket staged
+// only with batch objects fails fast at setup.
+func TestDataShardMissingManifest(t *testing.T) {
+	cl, job := testPMFJob(t, 2, Spec{MaxSteps: 1})
+	job.Spec.Data = DataShard
+	if _, err := Run(cl, job); err == nil {
+		t.Fatal("shard job without a staged manifest must fail")
+	}
+}
+
+// TestDataShardManifestMismatch: a stale NumBatches in the job spec is
+// rejected against the staged manifest.
+func TestDataShardManifestMismatch(t *testing.T) {
+	cl, job := testPMFJobShard(t, 2, Spec{MaxSteps: 1})
+	job.NumBatches--
+	if _, err := Run(cl, job); err == nil {
+		t.Fatal("manifest/job batch-count mismatch must fail")
+	}
+}
+
+// TestDataShardDeterminism: two identical shard-tier runs are
+// byte-identical in steps, times and losses (mirrors TestDeterminism).
+func TestDataShardDeterminism(t *testing.T) {
+	run := func() *Result {
+		cl, job := testPMFJobShard(t, 4, Spec{TargetLoss: 0.85, MaxSteps: 300})
+		res, err := Run(cl, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps || a.ExecTime != b.ExecTime || a.FinalLoss != b.FinalLoss {
+		t.Fatalf("non-deterministic: (%d, %v, %v) vs (%d, %v, %v)",
+			a.Steps, a.ExecTime, a.FinalLoss, b.Steps, b.ExecTime, b.FinalLoss)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("history diverges at step %d", i+1)
+		}
+	}
+}
+
+// TestDataShardStepAllocsBounded extends the PR 5 allocation guard to
+// the shard tier: the zero-copy fetch path must not regress the
+// steady-state step budget (the view path removes the per-fetch decode
+// the batch cache amortized, so the same bound applies).
+func TestDataShardStepAllocsBounded(t *testing.T) {
+	mallocs := func(steps int) float64 {
+		cl, job := testPMFJobShard(t, 4, Spec{MaxSteps: steps})
+		return runMallocs(t, cl, job)
+	}
+	mallocs(10) // warm pools, caches and lazy scratch
+	short := mallocs(40)
+	long := mallocs(120)
+	marginal := (long - short) / 80
+	t.Logf("marginal allocations per step (shard tier): %.1f", marginal)
+	if marginal > 250 {
+		t.Fatalf("shard-tier steady-state step allocates %.1f per step, want <= 250", marginal)
+	}
+}

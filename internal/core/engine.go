@@ -12,6 +12,7 @@ import (
 	"mlless/internal/faas"
 	"mlless/internal/faults"
 	"mlless/internal/fit"
+	"mlless/internal/model"
 	"mlless/internal/sched"
 	"mlless/internal/trace"
 	"mlless/internal/vclock"
@@ -34,6 +35,7 @@ type engine struct {
 	supGen  int
 	plan    dataset.Plan
 	batches *dataset.Cache
+	shards  *dataset.ShardCache // nil unless Spec.Data == DataShard
 
 	smoother *fit.EWMA
 	tuner    *sched.Tuner
@@ -179,7 +181,7 @@ func (e *engine) setup() error {
 		if err := e.cl.Broker.Bind(e.annExchange(), e.annQueue(i)); err != nil {
 			return fmt.Errorf("core: bind worker %d: %w", i, err)
 		}
-		e.workers[i] = &Worker{
+		w := &Worker{
 			id:     i,
 			inst:   inst,
 			model:  e.job.Model.Clone(),
@@ -187,10 +189,31 @@ func (e *engine) setup() error {
 			filter: consistency.NewFilterVariant(v, spec.FilterVariant),
 			alive:  true,
 		}
+		if spec.Data == DataShard {
+			// validate() guaranteed the prototype implements ViewModel;
+			// clones share the concrete type.
+			w.vmodel = w.model.(model.ViewModel)
+		}
+		e.workers[i] = w
 	}
 
 	e.plan = dataset.NewPlan(e.job.NumBatches, spec.Workers)
 	e.batches = dataset.NewCache(e.cl.COS, e.job.Bucket)
+	if spec.Data == DataShard {
+		// The manifest read is charged to the supervisor: it resolves the
+		// shard geometry once and the workers inherit it, mirroring the
+		// real deployment where the driver passes the layout in the
+		// invocation payload.
+		sc, err := dataset.OpenShardCache(e.cl.COS, &e.sup.Clock, e.job.Bucket)
+		if err != nil {
+			return fmt.Errorf("core: open shard tier: %w", err)
+		}
+		if sc.NumBatches() != e.job.NumBatches {
+			return fmt.Errorf("core: shard manifest stages %d batches, job declares %d",
+				sc.NumBatches(), e.job.NumBatches)
+		}
+		e.shards = sc
+	}
 
 	if spec.AutoTune {
 		cfg := spec.Sched

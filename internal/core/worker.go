@@ -10,6 +10,7 @@ import (
 	"mlless/internal/faas"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
+	"mlless/internal/shard"
 	"mlless/internal/sparse"
 	"mlless/internal/trace"
 )
@@ -20,6 +21,7 @@ type Worker struct {
 	id     int
 	inst   *faas.Instance
 	model  model.Model
+	vmodel model.ViewModel // model's view interface; nil in batch mode
 	opt    optimizer.Optimizer
 	filter *consistency.Filter
 
@@ -80,6 +82,7 @@ type stepCtx struct {
 
 	segStart     time.Duration
 	batch        []dataset.Sample
+	view         shard.BatchView // shard-tier batch; zero value in batch mode
 	loss         float64
 	upd          *sparse.Vector
 	computeStart time.Duration
@@ -161,11 +164,19 @@ func (e *engine) stepFetch(w *Worker, c *stepCtx) error {
 	clk := &w.inst.Clock
 	fetchStart := clk.Now()
 	batchIdx := e.plan.BatchFor(w.id, c.step)
-	batch, err := e.batches.Fetch(clk, batchIdx)
-	if err != nil {
-		return fmt.Errorf("core: worker %d step %d: %w", w.id, c.step, err)
+	if e.shards != nil {
+		view, err := e.shards.Fetch(clk, batchIdx)
+		if err != nil {
+			return fmt.Errorf("core: worker %d step %d: %w", w.id, c.step, err)
+		}
+		c.view = view
+	} else {
+		batch, err := e.batches.Fetch(clk, batchIdx)
+		if err != nil {
+			return fmt.Errorf("core: worker %d step %d: %w", w.id, c.step, err)
+		}
+		c.batch = batch
 	}
-	c.batch = batch
 	if e.tr.Enabled() {
 		e.tr.SpanOn(workerTrack(w.id), trace.CatEngine, "fetch",
 			fetchStart, clk.Now(), trace.Int("step", c.step), trace.Int("batch", batchIdx))
@@ -179,9 +190,16 @@ func (e *engine) stepFetch(w *Worker, c *stepCtx) error {
 func (e *engine) stepCompute(w *Worker, c *stepCtx) error {
 	clk := &w.inst.Clock
 	c.computeStart = clk.Now()
-	c.loss = w.model.Loss(c.batch)
-	grad := w.model.Gradient(c.batch)
-	e.chargeCompute(w, 1.5*w.model.GradientWork(len(c.batch)))
+	var grad *sparse.Vector
+	if e.shards != nil {
+		c.loss = w.vmodel.LossView(c.view)
+		grad = w.vmodel.GradientView(c.view)
+		e.chargeCompute(w, 1.5*w.model.GradientWork(c.view.Len()))
+	} else {
+		c.loss = w.model.Loss(c.batch)
+		grad = w.model.Gradient(c.batch)
+		e.chargeCompute(w, 1.5*w.model.GradientWork(len(c.batch)))
+	}
 
 	// The provider may have reclaimed the container mid-segment: the
 	// work charged past the reclaim point died with it and is redone on

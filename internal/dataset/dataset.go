@@ -129,6 +129,12 @@ func DecodeBatch(buf []byte) ([]Sample, error) {
 		return nil, fmt.Errorf("dataset: decode batch: short buffer (%d bytes)", len(buf))
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
+	// The smallest sample is 13 bytes (kind + label + empty sparse
+	// vector): a count exceeding what the buffer could hold is corrupt,
+	// and bounding it here keeps the pre-sized allocation honest.
+	if n > (len(buf)-4)/13 {
+		return nil, fmt.Errorf("dataset: decode batch: count %d exceeds %d-byte buffer", n, len(buf))
+	}
 	off := 4
 	out := make([]Sample, 0, n)
 	for k := 0; k < n; k++ {

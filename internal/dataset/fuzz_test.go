@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"mlless/internal/sparse"
+)
+
+// FuzzDecodeBatch feeds arbitrary bytes through DecodeBatch and the
+// encoded-extrema scanner: corrupt or truncated blobs must return
+// errors, never panic or over-allocate, and accepted batches must
+// re-encode and re-decode cleanly. The seed corpus mirrors
+// TestDecodeBatchErrors.
+func FuzzDecodeBatch(f *testing.F) {
+	rating := EncodeBatch([]Sample{{User: 1, Item: 2, Label: 3}})
+	v := sparse.New()
+	v.Set(0, 2.5)
+	v.Set(7, -1)
+	feature := EncodeBatch([]Sample{{Features: v, Label: 1, User: -1, Item: -1}})
+	f.Add([]byte{})
+	f.Add(rating)
+	f.Add(rating[:len(rating)-1])
+	f.Add(append(append([]byte(nil), rating...), 0))
+	badKind := append([]byte(nil), rating...)
+	badKind[4] = 9
+	f.Add(badKind)
+	f.Add(feature)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		batch, err := DecodeBatch(buf)
+		if err == nil {
+			// Accepted input: the decoded batch must survive a round trip.
+			// (Re-encoded bytes may legitimately differ from buf: DecodeBatch
+			// tolerates unsorted sparse entries that EncodeBatch canonicalizes.)
+			again, err := DecodeBatch(EncodeBatch(batch))
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if len(again) != len(batch) {
+				t.Fatalf("round trip changed batch size %d -> %d", len(batch), len(again))
+			}
+		}
+		// The normalize pass-1 scanner walks the same wire format and must
+		// be exactly as robust.
+		mins := []float64{math.Inf(1), math.Inf(1)}
+		maxs := []float64{math.Inf(-1), math.Inf(-1)}
+		_ = scanEncodedExtrema(buf, make([]bool, 2), mins, maxs)
+	})
+}

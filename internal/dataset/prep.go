@@ -1,10 +1,12 @@
 package dataset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"mlless/internal/objstore"
+	"mlless/internal/sparse"
 	"mlless/internal/vclock"
 )
 
@@ -20,7 +22,10 @@ import (
 //	       batch back.
 //
 // All intermediate I/O is charged to clk via the object store's link, as
-// a serverless map-reduce would pay it.
+// a serverless map-reduce would pay it — one charged read per pass per
+// batch, plus job 2's writes. Job 1 scans extrema straight off the
+// encoded bytes (no decode); job 2 decodes each batch exactly once,
+// through the shared Cache path.
 func NormalizeMinMax(store *objstore.Store, clk *vclock.Clock, bucket string, numBatches, numericFeatures int) error {
 	if numericFeatures <= 0 {
 		return nil
@@ -32,46 +37,139 @@ func NormalizeMinMax(store *objstore.Store, clk *vclock.Clock, bucket string, nu
 		maxs[f] = math.Inf(-1)
 	}
 
-	// Job 1 (map + reduce): per-feature extrema.
+	// Job 1 (map + reduce): per-feature extrema, streamed off the wire
+	// encoding without materializing samples.
+	present := make([]bool, numericFeatures)
 	for i := 0; i < numBatches; i++ {
-		batch, err := FetchBatch(store, clk, bucket, i)
+		buf, err := store.Get(clk, bucket, BatchKey(i))
 		if err != nil {
 			return fmt.Errorf("dataset: normalize pass 1: %w", err)
 		}
-		for _, s := range batch {
-			if s.Features == nil {
-				return fmt.Errorf("dataset: normalize: batch %d holds non-feature samples", i)
-			}
-			for f := 0; f < numericFeatures; f++ {
-				v := s.Features.Get(uint32(f))
-				if v < mins[f] {
-					mins[f] = v
-				}
-				if v > maxs[f] {
-					maxs[f] = v
-				}
-			}
+		if err := scanEncodedExtrema(buf, present, mins, maxs); err != nil {
+			return fmt.Errorf("dataset: normalize: batch %d %w", i, err)
 		}
 	}
 
-	// Job 2 (map): apply the scaling and rewrite each batch.
+	// Job 2 (map): apply the scaling and rewrite each batch. Reads go
+	// through a Cache: the transfer is charged per read as always, the
+	// decode happens once.
+	cache := NewCache(store, bucket)
 	for i := 0; i < numBatches; i++ {
-		batch, err := FetchBatch(store, clk, bucket, i)
+		batch, err := cache.Fetch(clk, i)
 		if err != nil {
 			return fmt.Errorf("dataset: normalize pass 2: %w", err)
 		}
 		for _, s := range batch {
-			for f := 0; f < numericFeatures; f++ {
-				span := maxs[f] - mins[f]
-				if span <= 0 {
-					s.Features.Set(uint32(f), 0)
-					continue
-				}
-				v := s.Features.Get(uint32(f))
-				s.Features.Set(uint32(f), (v-mins[f])/span)
-			}
+			scaleSample(s, mins, maxs)
 		}
-		store.Put(clk, bucket, batchKey(i), EncodeBatch(batch))
+		store.Put(clk, bucket, BatchKey(i), EncodeBatch(batch))
 	}
 	return nil
+}
+
+// scanEncodedExtrema folds one encoded batch into the per-feature
+// extrema. A numeric coordinate absent from a sample's sparse vector is
+// the value 0, so after each sample the features it did not mention
+// extend the extrema with 0 — exactly what Get-per-feature over the
+// decoded sample observes. Rating samples are a caller error; corrupt
+// buffers return errors.
+func scanEncodedExtrema(buf []byte, present []bool, mins, maxs []float64) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("holds short batch (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	numeric := uint32(len(present))
+	for k := 0; k < n; k++ {
+		if off >= len(buf) {
+			return fmt.Errorf("truncated at sample %d", k)
+		}
+		if kind := buf[off]; kind != kindFeature {
+			return fmt.Errorf("holds non-feature samples")
+		}
+		off++ // kind
+		if off+12 > len(buf) {
+			return fmt.Errorf("truncated at sample %d", k)
+		}
+		off += 8 // label
+		nnz := int(binary.LittleEndian.Uint32(buf[off:]))
+		extent := sparse.EncodedSizeFor(nnz)
+		if off+extent > len(buf) {
+			return fmt.Errorf("truncated at sample %d", k)
+		}
+		for f := range present {
+			present[f] = false
+		}
+		for j := 0; j < nnz; j++ {
+			entry := buf[off+4+j*12:]
+			idx := binary.LittleEndian.Uint32(entry)
+			if idx >= numeric {
+				continue
+			}
+			present[idx] = true
+			v := math.Float64frombits(binary.LittleEndian.Uint64(entry[4:]))
+			if v < mins[idx] {
+				mins[idx] = v
+			}
+			if v > maxs[idx] {
+				maxs[idx] = v
+			}
+		}
+		for f := range present {
+			if !present[f] {
+				if 0 < mins[f] {
+					mins[f] = 0
+				}
+				if 0 > maxs[f] {
+					maxs[f] = 0
+				}
+			}
+		}
+		off += extent
+	}
+	return nil
+}
+
+// scaleSample applies min-max scaling to one feature sample in place.
+func scaleSample(s Sample, mins, maxs []float64) {
+	for f := range mins {
+		span := maxs[f] - mins[f]
+		if span <= 0 {
+			s.Features.Set(uint32(f), 0)
+			continue
+		}
+		v := s.Features.Get(uint32(f))
+		s.Features.Set(uint32(f), (v-mins[f])/span)
+	}
+}
+
+// NormalizeInPlace min-max scales the numeric features of an in-memory
+// dataset — the same arithmetic as NormalizeMinMax without the staged
+// round trips. The shard staging path normalizes here before building
+// shard blobs (min/max are order-independent, so the result is bitwise
+// identical to staging raw batches and running NormalizeMinMax).
+func NormalizeInPlace(ds *Dataset, numericFeatures int) {
+	if numericFeatures <= 0 {
+		return
+	}
+	mins := make([]float64, numericFeatures)
+	maxs := make([]float64, numericFeatures)
+	for f := range mins {
+		mins[f] = math.Inf(1)
+		maxs[f] = math.Inf(-1)
+	}
+	for _, s := range ds.Samples {
+		for f := 0; f < numericFeatures; f++ {
+			v := s.Features.Get(uint32(f))
+			if v < mins[f] {
+				mins[f] = v
+			}
+			if v > maxs[f] {
+				maxs[f] = v
+			}
+		}
+	}
+	for _, s := range ds.Samples {
+		scaleSample(s, mins, maxs)
+	}
 }

@@ -13,9 +13,6 @@ import (
 // equals numeric order.
 func BatchKey(i int) string { return fmt.Sprintf("batch/%08d", i) }
 
-// batchKey is the internal alias.
-func batchKey(i int) string { return BatchKey(i) }
-
 // Stage shuffles the dataset deterministically (seed) into mini-batches
 // of size batchSize and uploads them to bucket in the object store,
 // charging the transfers to clk. It returns the number of staged batches.
@@ -31,14 +28,14 @@ func Stage(ds *Dataset, store *objstore.Store, clk *vclock.Clock, bucket string,
 	tmp := Dataset{Samples: shuffled}
 	batches := tmp.Split(batchSize)
 	for i, b := range batches {
-		store.Put(clk, bucket, batchKey(i), EncodeBatch(b))
+		store.Put(clk, bucket, BatchKey(i), EncodeBatch(b))
 	}
 	return len(batches)
 }
 
 // FetchBatch downloads and decodes staged mini-batch i from bucket.
 func FetchBatch(store *objstore.Store, clk *vclock.Clock, bucket string, i int) ([]Sample, error) {
-	buf, err := store.Get(clk, bucket, batchKey(i))
+	buf, err := store.Get(clk, bucket, BatchKey(i))
 	if err != nil {
 		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
 	}
@@ -73,7 +70,7 @@ func NewCache(store *objstore.Store, bucket string) *Cache {
 // Fetch charges the transfer of batch i to clk and returns its decoded
 // (possibly cached) samples.
 func (c *Cache) Fetch(clk *vclock.Clock, i int) ([]Sample, error) {
-	buf, err := c.store.Get(clk, c.bucket, batchKey(i))
+	buf, err := c.store.Get(clk, c.bucket, BatchKey(i))
 	if err != nil {
 		return nil, fmt.Errorf("dataset: fetch batch %d: %w", i, err)
 	}

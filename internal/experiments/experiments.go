@@ -170,6 +170,7 @@ func Registry() []struct {
 		{"abl-shards", AblShards},
 		{"abl-async", AblAsync},
 		{"abl-exchange", AblExchange},
+		{"abl-dataset", AblDataset},
 	}
 }
 

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "table1", "table2",
 		"fig4", "fig5", "table3", "fig6", "fig7",
 		"abl-filter", "abl-knee", "abl-merge", "abl-allreduce", "abl-startup", "abl-ssp",
-		"abl-faults", "abl-shards", "abl-async", "abl-exchange",
+		"abl-faults", "abl-shards", "abl-async", "abl-exchange", "abl-dataset",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -7,6 +7,7 @@ import (
 	"mlless/internal/dataset"
 	"mlless/internal/model"
 	"mlless/internal/optimizer"
+	"mlless/internal/shard"
 	"mlless/internal/vclock"
 )
 
@@ -110,6 +111,47 @@ func (w *Workload) MakeShards(workers, shards int) (*core.Cluster, core.Job) {
 	return cl, job
 }
 
+// MakeData is Make with the dataset staged on the given tier
+// (core.DataBatch or core.DataShard). Both tiers hold the same samples
+// in the same batch order, so the two jobs train bit-identically.
+func (w *Workload) MakeData(workers int, data string) (*core.Cluster, core.Job) {
+	cl, job := w.Make(workers)
+	if data != core.DataShard {
+		return cl, job
+	}
+	job.Spec.Data = core.DataShard
+	var clk vclock.Clock
+	b := shard.NewBuilder()
+	si := 0
+	flush := func() {
+		cl.COS.Put(&clk, w.Name, dataset.ShardKey(si), b.Finish())
+		b.Reset()
+		si++
+	}
+	for i, buf := range w.staged {
+		batch, err := dataset.DecodeBatch(buf)
+		if err != nil {
+			panic("experiments: shard restage: " + err.Error())
+		}
+		for _, s := range batch {
+			if s.IsRating() {
+				b.AddRating(s.User, s.Item, s.Label)
+			} else {
+				b.AddFeature(s.Label, s.Features)
+			}
+		}
+		b.EndBatch()
+		if (i+1)%dataset.DefaultBatchesPerShard == 0 {
+			flush()
+		}
+	}
+	if w.numBatch%dataset.DefaultBatchesPerShard != 0 {
+		flush()
+	}
+	dataset.WriteShardManifest(cl.COS, &clk, w.Name, w.numBatch, w.BatchSize, dataset.DefaultBatchesPerShard)
+	return cl, job
+}
+
 // makeWithBatch re-stages the workload's (already shuffled) sample
 // stream at a different per-worker batch size — Table 3's
 // constant-global-batch sweep requires B to shrink as P grows.
@@ -173,8 +215,8 @@ func LRCriteo(quick bool) *Workload {
 				ds := dataset.GenerateCriteo(cfg)
 				// Min-max normalize in place (the staged form the paper
 				// prepares with PyWren-IBM map-reduce; the dataset tests
-				// exercise the map-reduce path itself).
-				normalizeInPlace(ds, cfg.NumericFeatures)
+				// pin this against the map-reduce path byte for byte).
+				dataset.NormalizeInPlace(ds, cfg.NumericFeatures)
 				return ds
 			},
 		}
@@ -234,37 +276,4 @@ func pmfWorkload(name string, cfg dataset.MovieLensConfig, batch int, quick bool
 		}
 		return w
 	})
-}
-
-// normalizeInPlace min-max scales the numeric features of an in-memory
-// dataset (same result as the map-reduce NormalizeMinMax over staged
-// batches, without the staging round trip).
-func normalizeInPlace(ds *dataset.Dataset, numeric int) {
-	mins := make([]float64, numeric)
-	maxs := make([]float64, numeric)
-	for f := range mins {
-		mins[f] = 1e308
-		maxs[f] = -1e308
-	}
-	for _, s := range ds.Samples {
-		for f := 0; f < numeric; f++ {
-			v := s.Features.Get(uint32(f))
-			if v < mins[f] {
-				mins[f] = v
-			}
-			if v > maxs[f] {
-				maxs[f] = v
-			}
-		}
-	}
-	for _, s := range ds.Samples {
-		for f := 0; f < numeric; f++ {
-			span := maxs[f] - mins[f]
-			if span <= 0 {
-				s.Features.Set(uint32(f), 0)
-				continue
-			}
-			s.Features.Set(uint32(f), (s.Features.Get(uint32(f))-mins[f])/span)
-		}
-	}
 }

@@ -63,23 +63,29 @@ func (m *LogReg) Gradient(batch []dataset.Sample) *sparse.Vector {
 		})
 		g.Add(uint32(m.dim), inv*err) // bias
 	}
-	if m.l2 > 0 {
-		// Regularize only coordinates the batch touched. The terms are
-		// staged in a reused scratch (mutating g mid-iteration is not
-		// allowed) and folded in afterwards.
-		if m.reg == nil {
-			m.reg = sparse.New()
-		}
-		reg := m.reg
-		reg.Clear()
-		g.ForEach(func(i uint32, _ float64) {
-			if int(i) != m.dim { // bias is unregularized
-				reg.Add(i, m.l2*m.params[i])
-			}
-		})
-		g.AddVector(reg)
-	}
+	m.regularize(g)
 	return g
+}
+
+// regularize folds active-coordinate L2 into a gradient: only
+// coordinates the batch touched are regularized. The terms are staged
+// in a reused scratch (mutating g mid-iteration is not allowed) and
+// folded in afterwards. Shared by the []Sample and BatchView paths.
+func (m *LogReg) regularize(g *sparse.Vector) {
+	if m.l2 <= 0 {
+		return
+	}
+	if m.reg == nil {
+		m.reg = sparse.New()
+	}
+	reg := m.reg
+	reg.Clear()
+	g.ForEach(func(i uint32, _ float64) {
+		if int(i) != m.dim { // bias is unregularized
+			reg.Add(i, m.l2*m.params[i])
+		}
+	})
+	g.AddVector(reg)
 }
 
 // Loss implements Model: mean binary cross-entropy over the batch.

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"math"
+
+	"mlless/internal/shard"
+	"mlless/internal/sparse"
+)
+
+// ViewModel is the zero-copy extension of Model for the columnar shard
+// tier (-data shard): implementations evaluate loss and gradient
+// straight off a shard.BatchView — no []Sample materialization, no
+// per-step decode. The contract mirrors Model exactly:
+//
+//   - LossView(b) returns the same value Loss(batch) returns on the
+//     decoded batch, bit for bit. Both dot products accumulate in
+//     ascending coordinate order.
+//   - GradientView(b) returns the same gradient Gradient(batch)
+//     returns, coordinate for coordinate and bit for bit. Per-sample
+//     contributions arrive in sample order in both paths, and each
+//     coordinate occurs at most once per sample, so the per-coordinate
+//     accumulation sequences are identical even though the view walks
+//     pairs in ascending order while a sparse vector's ForEach walks
+//     hash order. The returned vector follows Model.Gradient's
+//     scratch-ownership contract: valid until the next gradient call.
+//
+// All built-in models implement ViewModel; core validates the
+// assertion at job admission for shard-mode jobs.
+type ViewModel interface {
+	Model
+	LossView(b shard.BatchView) float64
+	GradientView(b shard.BatchView) *sparse.Vector
+}
+
+var (
+	_ ViewModel = (*LogReg)(nil)
+	_ ViewModel = (*PMF)(nil)
+	_ ViewModel = (*SVM)(nil)
+)
+
+// scoreView computes wᵀx + b for view sample k.
+func (m *LogReg) scoreView(b shard.BatchView, k int) float64 {
+	return b.Dot(k, m.params) + m.params[m.dim]
+}
+
+// GradientView implements ViewModel: Gradient over the view's samples.
+func (m *LogReg) GradientView(b shard.BatchView) *sparse.Vector {
+	if m.grad == nil {
+		m.grad = sparse.New()
+	}
+	g := m.grad
+	g.Clear()
+	n := b.Len()
+	if n == 0 {
+		return g
+	}
+	inv := 1 / float64(n)
+	var sampleErr float64
+	add := func(i uint32, val float64) { g.Add(i, inv*sampleErr*val) }
+	for k := 0; k < n; k++ {
+		sampleErr = sigmoid(m.scoreView(b, k)) - b.Label(k)
+		b.ForEachPair(k, add)
+		g.Add(uint32(m.dim), inv*sampleErr) // bias
+	}
+	m.regularize(g)
+	return g
+}
+
+// LossView implements ViewModel: mean BCE over the view's samples.
+func (m *LogReg) LossView(b shard.BatchView) float64 {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		p := sigmoid(m.scoreView(b, k))
+		if b.Label(k) >= 0.5 {
+			sum -= clampLog(p)
+		} else {
+			sum -= clampLog(1 - p)
+		}
+	}
+	return sum / float64(n)
+}
+
+// GradientView implements ViewModel: Gradient over the view's samples.
+func (m *PMF) GradientView(b shard.BatchView) *sparse.Vector {
+	n := b.Len()
+	if m.grad == nil {
+		m.grad = sparse.NewWithCapacity(2 * m.rank * n)
+	}
+	g := m.grad
+	g.Clear()
+	if n == 0 {
+		return g
+	}
+	inv := 1 / float64(n)
+	for s := 0; s < n; s++ {
+		u, i := b.User(s), b.Item(s)
+		uo, io := m.userOff(u), m.itemOff(i)
+		e := m.predict(u, i) - b.Rating(s)
+		for k := 0; k < m.rank; k++ {
+			uk, ik := m.params[uo+k], m.params[io+k]
+			g.Add(uint32(uo+k), inv*(e*ik+m.l2*uk))
+			g.Add(uint32(io+k), inv*(e*uk+m.l2*ik))
+		}
+	}
+	return g
+}
+
+// LossView implements ViewModel: RMSE over the view's samples.
+func (m *PMF) LossView(b shard.BatchView) float64 {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for s := 0; s < n; s++ {
+		e := m.predict(b.User(s), b.Item(s)) - b.Rating(s)
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// marginView is margin for view sample k.
+func (m *SVM) marginView(b shard.BatchView, k int) (y, wx float64) {
+	y = -1.0
+	if b.Label(k) >= 0.5 {
+		y = 1.0
+	}
+	return y, b.Dot(k, m.params) + m.params[m.dim]
+}
+
+// GradientView implements ViewModel: Gradient over the view's samples.
+func (m *SVM) GradientView(b shard.BatchView) *sparse.Vector {
+	if m.grad == nil {
+		m.grad = sparse.New()
+	}
+	g := m.grad
+	g.Clear()
+	n := b.Len()
+	if n == 0 {
+		return g
+	}
+	inv := 1 / float64(n)
+	var y float64
+	add := func(i uint32, val float64) { g.Add(i, -inv*y*val) }
+	for k := 0; k < n; k++ {
+		var wx float64
+		y, wx = m.marginView(b, k)
+		if y*wx >= 1 {
+			continue // correctly classified with margin: zero subgradient
+		}
+		b.ForEachPair(k, add)
+		g.Add(uint32(m.dim), -inv*y)
+	}
+	m.regularize(g)
+	return g
+}
+
+// LossView implements ViewModel: mean hinge loss over the view.
+func (m *SVM) LossView(b shard.BatchView) float64 {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		y, wx := m.marginView(b, k)
+		if h := 1 - y*wx; h > 0 {
+			sum += h
+		}
+	}
+	return sum / float64(n)
+}

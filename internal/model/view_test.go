@@ -1,0 +1,113 @@
+package model
+
+import (
+	"testing"
+
+	"mlless/internal/dataset"
+	"mlless/internal/shard"
+	"mlless/internal/sparse"
+	"mlless/internal/xrand"
+)
+
+// viewOf packs a batch into a one-batch shard and returns its view.
+func viewOf(t *testing.T, batch []dataset.Sample) shard.BatchView {
+	t.Helper()
+	b := shard.NewBuilder()
+	for _, s := range batch {
+		if s.IsRating() {
+			b.AddRating(s.User, s.Item, s.Label)
+		} else {
+			b.AddFeature(s.Label, s.Features)
+		}
+	}
+	b.EndBatch()
+	sh, err := shard.Parse(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh.Batch(0)
+}
+
+// assertViewParity drives a model down both data paths over several
+// steps — applying the view path's own updates so the parameter
+// trajectories are exercised, not just step 0 — and requires bitwise
+// equality of loss and gradient at every step.
+func assertViewParity(t *testing.T, a Model, b ViewModel, batches [][]dataset.Sample) {
+	t.Helper()
+	for step, batch := range batches {
+		bv := viewOf(t, batch)
+		if la, lb := a.Loss(batch), b.LossView(bv); la != lb {
+			t.Fatalf("step %d: Loss %v, LossView %v (must be bitwise equal)", step, la, lb)
+		}
+		ga := a.Gradient(batch).Clone()
+		gb := b.GradientView(bv)
+		if !ga.Equal(gb) {
+			t.Fatalf("step %d: Gradient and GradientView differ", step)
+		}
+		// Equal() compares values; parity must hold bitwise per coordinate.
+		ga.ForEachSorted(func(i uint32, v float64) {
+			if gb.Get(i) != v {
+				t.Fatalf("step %d: coordinate %d %v vs %v", step, i, v, gb.Get(i))
+			}
+		})
+		upd := ga
+		upd.Scale(-0.05)
+		a.ApplyUpdate(upd)
+		b.ApplyUpdate(upd)
+	}
+}
+
+func featureBatches(dim, steps, batchSize int, seed uint64) [][]dataset.Sample {
+	rng := xrand.New(seed)
+	out := make([][]dataset.Sample, steps)
+	for s := range out {
+		batch := make([]dataset.Sample, batchSize)
+		for k := range batch {
+			v := sparse.New()
+			for n := rng.Intn(15) + 1; n > 0; n-- {
+				v.Set(uint32(rng.Intn(dim)), rng.NormFloat64())
+			}
+			batch[k] = dataset.Sample{Features: v, Label: float64(rng.Intn(2)), User: -1, Item: -1}
+		}
+		out[s] = batch
+	}
+	return out
+}
+
+func TestLogRegViewParity(t *testing.T) {
+	const dim = 300
+	assertViewParity(t, NewLogReg(dim, 1e-3), NewLogReg(dim, 1e-3), featureBatches(dim, 6, 32, 21))
+}
+
+func TestSVMViewParity(t *testing.T) {
+	const dim = 300
+	assertViewParity(t, NewSVM(dim, 1e-3), NewSVM(dim, 1e-3), featureBatches(dim, 6, 32, 22))
+}
+
+func TestPMFViewParity(t *testing.T) {
+	const users, items, rank = 40, 90, 6
+	rng := xrand.New(23)
+	batches := make([][]dataset.Sample, 6)
+	for s := range batches {
+		batch := make([]dataset.Sample, 32)
+		for k := range batch {
+			batch[k] = dataset.Sample{
+				User:  rng.Intn(users),
+				Item:  rng.Intn(items),
+				Label: 1 + 4*rng.Float64(),
+			}
+		}
+		batches[s] = batch
+	}
+	a := NewPMF(users, items, rank, 3.5, 0.02, 131)
+	b := NewPMF(users, items, rank, 3.5, 0.02, 131)
+	assertViewParity(t, a, b, batches)
+}
+
+func TestViewParityEmptyBatch(t *testing.T) {
+	m := NewLogReg(10, 0)
+	bv := viewOf(t, nil)
+	if m.LossView(bv) != 0 || m.GradientView(bv).Len() != 0 {
+		t.Fatal("empty view batch not a no-op")
+	}
+}

@@ -115,6 +115,46 @@ func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
 	return cp, nil
 }
 
+// GetRangeView returns a zero-copy view of length bytes at offset off
+// of the object at bucket/key — an HTTP ranged read: one request that
+// pays the first-byte latency plus the transfer of just the requested
+// range, the access pattern of the columnar shard tier (one batch
+// block per step out of a multi-batch shard). The view is safe to
+// retain: Put copies on write and replaces stored slices wholesale, so
+// a view is an immutable snapshot later writes never mutate. A missing
+// object or a range outside it costs one round trip and errors.
+func (s *Store) GetRangeView(clk *vclock.Clock, bucket, key string, off, length int) ([]byte, error) {
+	s.mu.Lock()
+	val, ok := s.buckets[bucket][key]
+	s.mu.Unlock()
+	s.cGets.Inc()
+
+	if !ok {
+		s.pipe.ChargeUntraced(clk, "getrange", bucket+"/"+key, s.pipe.RTT())
+		return nil, fmt.Errorf("getrange %s/%s: %w", bucket, key, ErrNotFound)
+	}
+	if off < 0 || length < 0 || off+length > len(val) {
+		s.pipe.ChargeUntraced(clk, "getrange", bucket+"/"+key, s.pipe.RTT())
+		return nil, fmt.Errorf("getrange %s/%s: range [%d,%d) outside %d-byte object",
+			bucket, key, off, off+length, len(val))
+	}
+	s.cBytesRead.Add(int64(length))
+	s.pipe.Charge(clk, "getrange", bucket+"/"+key, length, s.pipe.TransferTime(length))
+	return val[off : off+length], nil
+}
+
+// PeekView returns a zero-copy view of bucket/key without charging any
+// virtual time: simulator-side access for caches that parse an object
+// once while billing every read through Get/GetRangeView — the shard
+// tier's analogue of dataset.Cache's decode-once bookkeeping. The view
+// follows the same immutable-snapshot contract as GetRangeView.
+func (s *Store) PeekView(bucket, key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	val, ok := s.buckets[bucket][key]
+	return val, ok
+}
+
 // streamBandwidth returns the effective per-stream bytes/second of n
 // concurrent transfers: each stream sustains at most the store's
 // per-stream rate, and together they cannot exceed the caller's NIC

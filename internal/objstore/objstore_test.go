@@ -270,3 +270,70 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestGetRangeView(t *testing.T) {
+	link := netmodel.Link{Latency: 10 * time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	val := make([]byte, 1e6)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	s.Put(&clk, "b", "k", val)
+
+	var rClk vclock.Clock
+	view, err := s.GetRangeView(&rClk, "b", "k", 1000, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ranged read bills latency plus the range's transfer, not the
+	// whole object's.
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if rClk.Now() != want {
+		t.Fatalf("range charged %v, want %v", rClk.Now(), want)
+	}
+	if len(view) != 500000 || view[0] != byte(1000%256) || view[len(view)-1] != byte((1000+499999)%256) {
+		t.Fatalf("range window wrong: len=%d first=%d", len(view), view[0])
+	}
+
+	// The view is an immutable snapshot: a later Put replaces the stored
+	// slice wholesale and must not mutate it.
+	first := view[0]
+	s.Put(&clk, "b", "k", make([]byte, 1e6))
+	if view[0] != first {
+		t.Fatal("Put mutated a retained range view")
+	}
+
+	var missClk vclock.Clock
+	if _, err := s.GetRangeView(&missClk, "b", "missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	if missClk.Now() != 10*time.Millisecond {
+		t.Fatalf("miss charged %v", missClk.Now())
+	}
+	for _, r := range [][2]int{{-1, 10}, {0, -1}, {999999, 2}, {0, 1000001}} {
+		if _, err := s.GetRangeView(&clk, "b", "k", r[0], r[1]); err == nil {
+			t.Errorf("range [%d,%d) accepted", r[0], r[0]+r[1])
+		}
+	}
+}
+
+func TestPeekViewUncharged(t *testing.T) {
+	link := netmodel.Link{Latency: 10 * time.Millisecond, BandwidthBps: 1e6}
+	s := New(link)
+	var clk vclock.Clock
+	s.Put(&clk, "b", "k", []byte("shard-bytes"))
+	before := s.Registry().Counter("obj.gets").Load()
+
+	view, ok := s.PeekView("b", "k")
+	if !ok || string(view) != "shard-bytes" {
+		t.Fatalf("PeekView = %q, %v", view, ok)
+	}
+	// Peeks are simulator bookkeeping: no counters, no virtual time.
+	if got := s.Registry().Counter("obj.gets").Load(); got != before {
+		t.Fatalf("PeekView bumped obj.gets to %d", got)
+	}
+	if _, ok := s.PeekView("b", "missing"); ok {
+		t.Fatal("PeekView found a missing object")
+	}
+}

@@ -1,0 +1,48 @@
+package shard
+
+// Mapped is a read-only byte view of a file: memory-mapped on
+// platforms that support it (Linux), read fully into memory elsewhere.
+// Data stays valid until Close; BatchViews handed out over it share
+// its lifetime (the view-ownership contract of DESIGN.md §13).
+type Mapped struct {
+	Data   []byte
+	mapped bool
+}
+
+// MapFile opens path read-only as a Mapped view. Empty files yield a
+// nil Data slice.
+func MapFile(path string) (*Mapped, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{Data: data, mapped: mapped}, nil
+}
+
+// Close releases the mapping (or the buffer). The Data slice must not
+// be used afterwards.
+func (m *Mapped) Close() error {
+	data := m.Data
+	m.Data = nil
+	if m.mapped && data != nil {
+		m.mapped = false
+		return unmapFile(data)
+	}
+	return nil
+}
+
+// OpenFile maps path and parses it as a shard. The returned Mapped
+// owns the shard's bytes — close it only when the shard's views are
+// no longer in use.
+func OpenFile(path string) (*Shard, *Mapped, error) {
+	m, err := MapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := Parse(m.Data)
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return s, m, nil
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+package shard
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The file descriptor is closed
+// before returning: the mapping keeps the pages alive.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("shard: mmap %s: %w", path, err)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package shard
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without a
+// wired-up mmap path; callers see the same []byte contract.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) == 0 {
+		data = nil
+	}
+	return data, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

@@ -324,3 +324,31 @@ func NormalizeDataset(cl *Cluster, bucket string, numBatches, numericFeatures in
 	var clk vclock.Clock
 	return dataset.NormalizeMinMax(cl.COS, &clk, bucket, numBatches, numericFeatures)
 }
+
+// Streaming columnar dataset tier (see internal/shard and DESIGN.md
+// §13). Jobs opt in with Spec.Data = DataShard; the default DataBatch
+// keeps the row-encoded tier and its byte-identical traces.
+const (
+	// DataBatch selects the row-encoded mini-batch tier (default).
+	DataBatch = core.DataBatch
+	// DataShard selects the zero-copy columnar shard tier.
+	DataShard = core.DataShard
+)
+
+// StageDatasetShards stages ds on the columnar shard tier: the same
+// deterministic shuffle as StageDataset, packed batchesPerShard batches
+// per shard blob (0 selects the default of 8) plus a manifest. Jobs
+// over the bucket must set Spec.Data = DataShard. For Criteo-shaped
+// data, run NormalizeInMemory before staging; the two tiers then train
+// bit-identically.
+func StageDatasetShards(cl *Cluster, ds *Dataset, bucket string, batchSize, batchesPerShard int, seed uint64) int {
+	var clk vclock.Clock
+	return dataset.StageShards(ds, cl.COS, &clk, bucket, batchSize, batchesPerShard, seed)
+}
+
+// NormalizeInMemory min-max scales the numeric features of an
+// in-memory dataset — the pre-staging counterpart of NormalizeDataset,
+// producing bit-identical samples.
+func NormalizeInMemory(ds *Dataset, numericFeatures int) {
+	dataset.NormalizeInPlace(ds, numericFeatures)
+}
