@@ -18,7 +18,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %q not registered", id)
 	}
 	for i := 0; i < b.N; i++ {
-		table, err := runner(experiments.Options{Quick: true})
+		table, err := runner(experiments.Options{Quick: true, ArtifactDir: b.TempDir()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,6 +88,9 @@ func BenchmarkAblSSP(b *testing.B) { benchExperiment(b, "abl-ssp") }
 
 // BenchmarkAblAsync compares the barrier-free async schedule to BSP/ISP.
 func BenchmarkAblAsync(b *testing.B) { benchExperiment(b, "abl-async") }
+
+// BenchmarkAblTenancy runs the multi-tenant control plane trace.
+func BenchmarkAblTenancy(b *testing.B) { benchExperiment(b, "abl-tenancy") }
 
 // BenchmarkAblDataset compares the batch and shard dataset tiers and
 // measures streaming shard generation (ISSUE 8).

@@ -8,7 +8,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
 	"mlless/internal/faas"
@@ -85,10 +84,13 @@ func NewClusterWithShards(shards int) *Cluster {
 }
 
 // nextJobID allocates a unique namespace prefix for a job's keys and
-// queues.
-func (c *Cluster) nextJobID() string {
+// queues: "jobN" standalone, "<tenant>/jobN" for a tenant's job. The
+// counter is cluster-wide, so jobs of different tenants sharing one
+// substrate can never collide on a key, queue, bucket or billing label
+// (jobNamespace documents the scheme).
+func (c *Cluster) nextJobID(tenant string) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.jobID++
-	return fmt.Sprintf("job%d", c.jobID)
+	return jobNamespace(tenant, c.jobID)
 }

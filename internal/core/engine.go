@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +60,11 @@ type engine struct {
 	totalUpdateBytes int64
 	prevBarrier      time.Duration
 	lastStepDur      time.Duration
+
+	// Control-plane shrink directives (Spec.Shrink sorted by At) not yet
+	// handed to the tuner; shrinkIdx is the next due entry.
+	shrink    []ShrinkDirective
+	shrinkIdx int
 }
 
 // Run executes a training job on the cluster and returns its result.
@@ -73,7 +79,7 @@ func Run(cl *Cluster, job Job) (*Result, error) {
 	e := &engine{
 		cl:       cl,
 		job:      job,
-		id:       cl.nextJobID(),
+		id:       cl.nextJobID(job.Spec.Tenant),
 		smoother: fit.NewEWMA(job.Spec.LossAlpha),
 		tr:       job.Trace,
 	}
@@ -156,7 +162,12 @@ func (e *engine) setup() error {
 		return err
 	}
 
-	sup, err := e.invokeAt(e.supName(), spec.MemoryMiB, 0, false)
+	// Every instance boots at the job's launch instant: 0 standalone,
+	// the admission time under the fleet control plane. The first
+	// step's duration is measured from here.
+	e.prevBarrier = spec.StartAt
+
+	sup, err := e.invokeAt(e.supName(), spec.MemoryMiB, spec.StartAt, false)
 	if err != nil {
 		return fmt.Errorf("core: launch supervisor: %w", err)
 	}
@@ -172,7 +183,7 @@ func (e *engine) setup() error {
 	}
 	e.workers = make([]*Worker, spec.Workers)
 	for i := range e.workers {
-		inst, err := e.invokeAt(e.workerName(i, 0), spec.MemoryMiB, 0, false)
+		inst, err := e.invokeAt(e.workerName(i, 0), spec.MemoryMiB, spec.StartAt, false)
 		if err != nil {
 			return fmt.Errorf("core: launch worker %d: %w", i, err)
 		}
@@ -215,7 +226,10 @@ func (e *engine) setup() error {
 		e.shards = sc
 	}
 
-	if spec.AutoTune {
+	// The tuner serves two masters: the scale-in auto-tuner (§4.2) and
+	// control-plane shrink requests (Spec.Shrink), both gated on the
+	// same knee detection and MinWorkers floor.
+	if spec.AutoTune || len(spec.Shrink) > 0 {
 		cfg := spec.Sched
 		// The supervisor smooths the global loss once; feed the tuner the
 		// already-smoothed stream.
@@ -231,6 +245,10 @@ func (e *engine) setup() error {
 		if e.tr.Enabled() {
 			e.tuner.SetTracer(e.tr, supTrack)
 		}
+	}
+	if len(spec.Shrink) > 0 {
+		e.shrink = append(e.shrink, spec.Shrink...)
+		sort.SliceStable(e.shrink, func(i, j int) bool { return e.shrink[i].At < e.shrink[j].At })
 	}
 	return nil
 }
@@ -282,7 +300,9 @@ func (e *engine) endInstance(inst *faas.Instance) error {
 }
 
 func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, error) {
-	execTime := e.prevBarrier
+	// ExecTime is the job's own duration: barriers are absolute virtual
+	// times, so a fleet job admitted at StartAt > 0 measures from there.
+	execTime := e.prevBarrier - e.job.Spec.StartAt
 
 	for _, w := range e.workers {
 		if !w.alive {
@@ -363,6 +383,7 @@ func (e *engine) teardown(converged, diverged bool, lastSync int) (*Result, erro
 		}
 	}
 	return &Result{
+		ID:               e.id,
 		Converged:        converged,
 		Diverged:         diverged,
 		ExecTime:         execTime,

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"mlless/internal/consistency"
@@ -43,6 +44,20 @@ var (
 	// implement model.ViewModel, the zero-copy evaluation interface the
 	// shard data path requires.
 	ErrModelNoView = errors.New("core: the shard data tier requires a model implementing model.ViewModel")
+	// ErrBadTenant reports a tenant name containing '/', which would
+	// break the collision-free namespace construction (the namespace is
+	// the name's first '/'-separated segment; see faas.NamespaceOf).
+	ErrBadTenant = errors.New("core: tenant names must not contain '/'")
+	// ErrNegativeStart reports a job launched at a negative virtual time.
+	ErrNegativeStart = errors.New("core: job start time must be >= 0")
+	// ErrAsyncShrink reports control-plane shrink directives combined
+	// with the async schedule; like the auto-tuner, pool shrinks assume
+	// sync points (evictions must not lose published-but-unpulled
+	// updates).
+	ErrAsyncShrink = errors.New("core: control-plane shrink directives require a lock-step schedule")
+	// ErrBadShrink reports a shrink directive with a non-positive worker
+	// count or a negative time.
+	ErrBadShrink = errors.New("core: shrink directives need Workers >= 1 and At >= 0")
 )
 
 // Data tiers selectable via Spec.Data.
@@ -135,6 +150,38 @@ type Spec struct {
 	// stragglers, mid-run container reclamation and KV/broker fault
 	// delays, all seeded. The zero value disables every fault.
 	Faults faults.Spec
+	// Tenant, when non-empty, prefixes the job's entire key/queue/billing
+	// namespace ("<tenant>/jobN/..." instead of "jobN/...") and places
+	// its FaaS activations in the tenant's namespace, where they count
+	// against any per-tenant quota (faas.SetQuota). Must not contain
+	// '/'. Empty (the default) keeps the standalone namespace and
+	// behavior byte-identical to earlier builds.
+	Tenant string
+	// StartAt is the virtual time the job launches — its admission time
+	// under the multi-tenant control plane (internal/tenant). Every
+	// instance boots at StartAt, History times are absolute, and
+	// Result.ExecTime measures from StartAt. 0 (the default) reproduces
+	// the standalone timeline exactly.
+	StartAt time.Duration
+	// Shrink schedules control-plane pool-shrink requests: once the
+	// virtual clock passes a directive's At, the engine asks the tuner
+	// to give up Workers workers. Requests are honored only at sync
+	// points, never before the loss-curve knee, and never push the pool
+	// below MinWorkers (Sched.MinWorkers; the same floor as the
+	// auto-tuner). Requires a lock-step schedule. The control plane uses
+	// this to ask running jobs to scale in when the shared platform is
+	// contended.
+	Shrink []ShrinkDirective
+}
+
+// ShrinkDirective is one scheduled control-plane request for a job to
+// give up workers (see Spec.Shrink).
+type ShrinkDirective struct {
+	// At is the virtual time the request takes effect (absolute, like
+	// Spec.StartAt).
+	At time.Duration
+	// Workers is how many workers the job is asked to release.
+	Workers int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -207,6 +254,22 @@ func (j Job) validate(memoryMiB int) error {
 	}
 	if j.Spec.Sync == consistency.Async && j.Spec.AutoTune {
 		return ErrAsyncAutoTune
+	}
+	if strings.ContainsRune(j.Spec.Tenant, '/') {
+		return fmt.Errorf("%w (tenant %q)", ErrBadTenant, j.Spec.Tenant)
+	}
+	if j.Spec.StartAt < 0 {
+		return ErrNegativeStart
+	}
+	if len(j.Spec.Shrink) > 0 {
+		if j.Spec.Sync == consistency.Async {
+			return ErrAsyncShrink
+		}
+		for _, d := range j.Spec.Shrink {
+			if d.Workers < 1 || d.At < 0 {
+				return fmt.Errorf("%w (got Workers=%d At=%v)", ErrBadShrink, d.Workers, d.At)
+			}
+		}
 	}
 	if err := exchange.Validate(j.Spec.Exchange, j.Spec.TreeFanout); err != nil {
 		return err

@@ -12,6 +12,24 @@ import (
 // through the messaging service. Everything a packet sniffer (or the
 // janitor at teardown) would need to know about a run lives here.
 
+// jobNamespace is the root of a job's namespace on every shared
+// substrate — KV keys, broker queues/exchanges, the collective-exchange
+// bucket ("xchg-<root>") and FaaS billing labels all start with it:
+//
+//	standalone:  job<N>/...
+//	tenant job:  <tenant>/job<N>/...
+//
+// N comes from a cluster-wide counter and tenant names may not contain
+// '/' (core.Job validation), so two jobs sharing a substrate can never
+// collide, and faas.NamespaceOf maps a tenant job's function names to
+// the tenant's activation namespace (where per-tenant quotas apply).
+func jobNamespace(tenant string, n int) string {
+	if tenant == "" {
+		return fmt.Sprintf("job%d", n)
+	}
+	return fmt.Sprintf("%s/job%d", tenant, n)
+}
+
 // updKey names a worker's step update — the identity announcements
 // carry. The layout is owned by the exchange strategy; every strategy
 // keeps the historical <job>/upd/<step>/<worker> form.

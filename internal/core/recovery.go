@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"mlless/internal/faas"
@@ -10,6 +11,7 @@ import (
 	"mlless/internal/model"
 	"mlless/internal/sparse"
 	"mlless/internal/trace"
+	"mlless/internal/xrand"
 )
 
 // relaunchMargin is how close to the FaaS execution limit a function may
@@ -26,6 +28,26 @@ const (
 	maxInvokeAttempts = 8
 )
 
+// Quota-rejected invocations (faas.ErrTooManyConcurrent) are also
+// retryable — under shared per-tenant quotas hitting the cap is a
+// steady-state event, not a failure. They back off from a larger base
+// (capacity frees on job-completion timescales, not network ones) with
+// a deterministic per-function jitter so concurrent admits
+// desynchronize instead of stampeding the freed slot together.
+const quotaRetryBase = 250 * time.Millisecond
+
+// quotaBackoff returns the virtual wait before retry attempt of a
+// quota-rejected invocation: exponential in the attempt, plus up to
+// +50% jitter drawn from a stream seeded by the function name — a pure
+// function of (name, attempt), so runs stay byte-reproducible.
+func quotaBackoff(name string, attempt int) time.Duration {
+	base := quotaRetryBase << (attempt - 1)
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := xrand.New(h.Sum64() + uint64(attempt)*0x9e3779b97f4a7c15)
+	return base + time.Duration(rng.Float64()*float64(base)/2)
+}
+
 // maxConsecutiveDeaths bounds back-to-back reclamations of one worker
 // inside a single step, so a pathological reclaim probability turns
 // into an error instead of an unbounded recovery loop.
@@ -39,11 +61,13 @@ func (e *engine) relaunchHorizon() time.Duration {
 }
 
 // invokeAt launches a function at virtual time at, retrying attempts
-// that fail with an injected transient error. Each retry backs off
+// that fail transiently: injected invocation faults and exhausted
+// concurrency quotas (faas.ErrTooManyConcurrent) both back off
 // exponentially in virtual time, so the successful attempt (and every
-// charge after it) starts later; the backoff is recorded as restart
-// overhead. Non-injected errors and attempts beyond maxInvokeAttempts
-// are returned as-is.
+// charge after it) starts later. The backoff is recorded as restart
+// overhead — it surfaces on the bill inside the recovery-overhead memo
+// like every other recovery wait. Other errors and attempts beyond
+// maxInvokeAttempts are returned as-is.
 func (e *engine) invokeAt(name string, memoryMiB int, at time.Duration, cold bool) (*faas.Instance, error) {
 	backoff := invokeRetryBase
 	for attempt := 1; ; attempt++ {
@@ -57,15 +81,24 @@ func (e *engine) invokeAt(name string, memoryMiB int, at time.Duration, cold boo
 		if err == nil {
 			return inst, nil
 		}
-		if !errors.Is(err, faults.ErrInjected) || attempt == maxInvokeAttempts {
+		if attempt == maxInvokeAttempts {
+			return nil, err
+		}
+		var wait time.Duration
+		switch {
+		case errors.Is(err, faults.ErrInjected):
+			wait = backoff
+			backoff *= 2
+		case errors.Is(err, faas.ErrTooManyConcurrent):
+			wait = quotaBackoff(name, attempt)
+		default:
 			return nil, err
 		}
 		e.recMu.Lock()
 		e.recovery.InvokeRetries++
-		e.recovery.RestartTime += backoff
+		e.recovery.RestartTime += wait
 		e.recMu.Unlock()
-		at += backoff
-		backoff *= 2
+		at += wait
 	}
 }
 

@@ -87,6 +87,10 @@ func (rc Recovery) Overhead() time.Duration { return rc.RestartTime + rc.Recompu
 
 // Result is the outcome of a training job.
 type Result struct {
+	// ID is the job's namespace prefix on the shared substrates
+	// ("jobN", or "<tenant>/jobN" for a tenant's job) — the root of its
+	// keys, queues and billing labels.
+	ID string
 	// Converged reports whether TargetLoss was reached.
 	Converged bool
 	// Diverged reports that training blew up (NaN/Inf loss); the run is

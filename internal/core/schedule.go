@@ -183,18 +183,39 @@ func (LockStep) Run(e *engine) (*Result, error) {
 			break
 		}
 
-		// Scale-in auto-tuner (§4.2), run by the supervisor. Evictions
-		// only happen at sync points so no published-but-unpulled update
-		// is lost under SSP.
+		// Scale-in auto-tuner (§4.2) and control-plane shrink requests,
+		// both run by the supervisor. Evictions only happen at sync
+		// points so no published-but-unpulled update is lost under SSP.
 		if e.tuner != nil {
 			e.tuner.Observe(step, smoothed, stepDur)
 			if syncStep {
-				d := e.tuner.Decide(e.sup.Clock.Now(), step, pActive)
-				if d.Remove && pActive > e.tuner.Config().MinWorkers {
+				// Shrink directives due by this barrier become pending
+				// requests; the tuner honors them under the same guards
+				// as its own decisions (post-knee, above MinWorkers).
+				for e.shrinkIdx < len(e.shrink) && e.shrink[e.shrinkIdx].At <= barrier {
+					e.tuner.RequestShrink(e.shrink[e.shrinkIdx].Workers)
+					e.shrinkIdx++
+				}
+				for e.tuner.PendingShrink() > 0 {
+					d := e.tuner.DecideShrink(e.sup.Clock.Now(), step, pActive)
+					if !d.Remove {
+						break
+					}
 					if err := e.evictOne(step, barrier, active); err != nil {
 						return nil, err
 					}
 					e.tuner.NotifyRemoval(step)
+					active = e.active()
+					pActive = len(active)
+				}
+				if e.job.Spec.AutoTune {
+					d := e.tuner.Decide(e.sup.Clock.Now(), step, pActive)
+					if d.Remove && pActive > e.tuner.Config().MinWorkers {
+						if err := e.evictOne(step, barrier, active); err != nil {
+							return nil, err
+						}
+						e.tuner.NotifyRemoval(step)
+					}
 				}
 			}
 		}

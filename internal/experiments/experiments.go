@@ -99,6 +99,10 @@ type Options struct {
 	// MLLess training run into this directory (created on demand), named
 	// after the experiment point ("fig4-pmf-1m-p12-v0.7.trace.json").
 	TraceDir string
+	// ArtifactDir is where experiments that emit BENCH_*.json artifacts
+	// write them; empty means the working directory (what mlless-bench
+	// and CI rely on — tests point it at a scratch directory instead).
+	ArtifactDir string
 }
 
 // runJob executes one MLLess training run for an experiment point,
@@ -171,6 +175,7 @@ func Registry() []struct {
 		{"abl-async", AblAsync},
 		{"abl-exchange", AblExchange},
 		{"abl-dataset", AblDataset},
+		{"abl-tenancy", AblTenancy},
 	}
 }
 

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "table3", "fig6", "fig7",
 		"abl-filter", "abl-knee", "abl-merge", "abl-allreduce", "abl-startup", "abl-ssp",
 		"abl-faults", "abl-shards", "abl-async", "abl-exchange", "abl-dataset",
+		"abl-tenancy",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -45,7 +46,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, entry := range Registry() {
 		entry := entry
 		t.Run(entry.ID, func(t *testing.T) {
-			table, err := entry.Run(Options{Quick: true})
+			table, err := entry.Run(Options{Quick: true, ArtifactDir: t.TempDir()})
 			if err != nil {
 				t.Fatal(err)
 			}

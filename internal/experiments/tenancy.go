@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mlless/internal/core"
+	"mlless/internal/dataset"
+	"mlless/internal/faas"
+	"mlless/internal/tenant"
+	"mlless/internal/vclock"
+)
+
+// AblTenancy exercises the multi-tenant control plane (DESIGN.md §14):
+// a seeded synthetic arrival trace over the LR/SVM/PMF workload zoo is
+// admitted onto one shared substrate under per-tenant concurrency
+// quotas inside a deliberately tight platform cap. The experiment
+// reports aggregate throughput, Jain's fairness index over per-tenant
+// mean slowdowns, and tail job-completion latency, and checks the
+// platform's bill splits exactly across tenants. Results are written to
+// BENCH_tenancy.json in the working directory.
+//
+// Quick runs a 12-job trace; the full trace is 60 jobs (the ISSUE's
+// >= 50). Both are pure functions of the seed: the control-plane event
+// log is byte-identical across runs (CI pins this via mlless-fleet).
+func AblTenancy(opts Options) (Table, error) {
+	start := time.Now()
+	jobs := 60
+	if opts.Quick {
+		jobs = 12
+	}
+	const (
+		seed    = 2026
+		platCap = 14
+		meanGap = 1500 * time.Millisecond
+	)
+
+	// One shared substrate for the whole fleet, with a cap tight enough
+	// that the trace contends: every workload zoo dataset is staged
+	// once, under its own bucket.
+	cl := core.NewCluster()
+	pcfg := cl.Platform.Config()
+	pcfg.MaxConcurrent = platCap
+	cl.Platform = faas.NewPlatformWithRegistry(pcfg, cl.Metrics)
+
+	mix := ZooTemplates(cl, 120)
+
+	tenants := []tenant.Tenant{
+		{Name: "t1", Quota: 10},
+		{Name: "t2", Quota: 10},
+		{Name: "t3", Quota: 7},
+		{Name: "t4", Quota: 7},
+	}
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Name
+	}
+	arrivals, err := tenant.GenerateArrivals(seed, names, mix, jobs, meanGap)
+	if err != nil {
+		return Table{}, fmt.Errorf("abl-tenancy: %w", err)
+	}
+	rep, err := tenant.Run(tenant.Config{Cluster: cl, Tenants: tenants, Arrivals: arrivals})
+	if err != nil {
+		return Table{}, fmt.Errorf("abl-tenancy: %w", err)
+	}
+
+	// The billing invariant the control plane exists to keep: tenant
+	// function-time shares sum to the platform's own meter exactly.
+	if platform := cl.Platform.BilledFunctionSeconds(); rep.FunctionTime != platform {
+		return Table{}, fmt.Errorf("abl-tenancy: tenant bills sum to %v, platform metered %v",
+			rep.FunctionTime, platform)
+	}
+
+	t := Table{
+		ID:     "abl-tenancy",
+		Title:  "Multi-tenant control plane: fairness, tail latency, per-tenant billing",
+		Header: []string{"tenant", "jobs", "func-time", "func-$", "mean-slowdown", "max-wait"},
+		Notes: []string{
+			fmt.Sprintf("%d jobs over %d tenants, platform cap %d activations, mean inter-arrival %v (seed %d)",
+				jobs, len(tenants), platCap, meanGap, seed),
+			fmt.Sprintf("throughput %.1f jobs/h over makespan %v; Jain fairness %.4f; completion latency p50 %v, p99 %v; %d workers handed back under contention",
+				rep.ThroughputPerHour, rep.Makespan.Round(time.Millisecond), rep.Jain,
+				rep.P50Latency.Round(time.Millisecond), rep.P99Latency.Round(time.Millisecond), rep.ScaleIns),
+			"per-tenant func-time sums exactly to the platform's billed function seconds (checked every run)",
+		},
+	}
+	for _, tr := range rep.Tenants {
+		t.Rows = append(t.Rows, []string{
+			tr.Name,
+			fmt.Sprintf("%d", tr.Jobs),
+			tr.FunctionTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.6f", tr.FunctionDollars),
+			fmt.Sprintf("%.3f", tr.MeanSlowdown),
+			tr.MaxWait.Round(time.Millisecond).String(),
+		})
+	}
+
+	if err := writeTenancyBench(opts.ArtifactDir, rep, jobs, platCap, seed, meanGap, time.Since(start)); err != nil {
+		return Table{}, fmt.Errorf("abl-tenancy: %w", err)
+	}
+	return t, nil
+}
+
+// ZooTemplates stages the quick LR/SVM/PMF workload zoo onto the shared
+// cluster (one bucket per workload) and returns one fleet template per
+// workload at staggered pool widths (2, 3, 4 workers), so arrival
+// demands differ. Jobs run to their workload's convergence target under
+// the given step bound. Shared by abl-tenancy and mlless-fleet.
+func ZooTemplates(cl *core.Cluster, maxSteps int) []tenant.Template {
+	zoo := []*Workload{LRCriteo(true), SVMCriteo(true), PMF1M(true)}
+	var clk vclock.Clock
+	mix := make([]tenant.Template, len(zoo))
+	for i, w := range zoo {
+		w := w
+		w.stage()
+		for j, buf := range w.staged {
+			cl.COS.Put(&clk, w.Name, dataset.BatchKey(j), buf)
+		}
+		workers := 2 + i
+		mix[i] = tenant.Template{
+			Name:   w.Name,
+			Weight: 1,
+			New: func() core.Job {
+				return core.Job{
+					Spec:       core.Spec{Workers: workers, MaxSteps: maxSteps, TargetLoss: w.TargetLoss},
+					Model:      w.newModel(),
+					Optimizer:  w.newOpt(),
+					Bucket:     w.Name,
+					NumBatches: w.numBatch,
+					BatchSize:  w.BatchSize,
+				}
+			},
+		}
+	}
+	return mix
+}
+
+// benchSection is one column-oriented block of a BENCH_*.json artifact.
+type benchSection struct {
+	Columns []string        `json:"columns"`
+	Points  [][]interface{} `json:"points"`
+	Notes   []string        `json:"notes,omitempty"`
+}
+
+// writeTenancyBench emits BENCH_tenancy.json into dir (the working
+// directory when empty), mirroring the repo's other BENCH artifacts.
+func writeTenancyBench(dir string, rep *tenant.Report, jobs, platCap int, seed uint64, meanGap, wall time.Duration) error {
+	doc := struct {
+		Description string `json:"description"`
+		Host        struct {
+			OS    string `json:"os"`
+			Arch  string `json:"arch"`
+			Cores int    `json:"cores"`
+			Wall  string `json:"regeneration_wall_clock"`
+		} `json:"host"`
+		Fleet    benchSection `json:"fleet"`
+		Tenants  benchSection `json:"tenants"`
+		Headline string       `json:"headline"`
+	}{}
+	doc.Description = fmt.Sprintf("Multi-tenant control plane (DESIGN.md §14): mlless-bench -experiment abl-tenancy. "+
+		"A seeded synthetic trace of %d job arrivals (exponential inter-arrivals, mean %v, seed %d) over the "+
+		"LR/SVM/PMF workload zoo is admitted onto one shared substrate capped at %d concurrent activations, "+
+		"under per-tenant quotas, fair-share admission and contention-triggered post-knee scale-in. "+
+		"All times are virtual (simulated) and the control-plane event log is byte-identical across same-seed runs.",
+		jobs, meanGap, seed, platCap)
+	doc.Host.OS = runtime.GOOS
+	doc.Host.Arch = runtime.GOARCH
+	doc.Host.Cores = runtime.NumCPU()
+	doc.Host.Wall = wall.Round(100 * time.Millisecond).String()
+
+	doc.Fleet = benchSection{
+		Columns: []string{"jobs", "makespan", "throughput_jobs_per_h", "jain_fairness", "p50_latency", "p99_latency", "scale_ins", "platform_function_time", "platform_function_usd"},
+		Points: [][]interface{}{{
+			len(rep.Jobs),
+			rep.Makespan.Round(time.Millisecond).String(),
+			round2(rep.ThroughputPerHour),
+			round4(rep.Jain),
+			rep.P50Latency.Round(time.Millisecond).String(),
+			rep.P99Latency.Round(time.Millisecond).String(),
+			rep.ScaleIns,
+			rep.FunctionTime.Round(time.Millisecond).String(),
+			round6(rep.FunctionDollars),
+		}},
+		Notes: []string{
+			"jain_fairness is Jain's index over per-tenant mean slowdowns ((wait+exec)/exec): 1.0 = every tenant slowed equally",
+			"scale_ins counts workers jobs handed back after contention-triggered shrink requests (honored post-knee, above the MinWorkers floor)",
+		},
+	}
+	doc.Tenants = benchSection{
+		Columns: []string{"tenant", "jobs", "function_time", "function_usd", "mean_slowdown", "max_wait"},
+		Notes: []string{
+			"function_time sums exactly to the platform's billed function seconds — the per-tenant billing split has no orphaned or double-counted GB-seconds (the experiment errors out otherwise)",
+		},
+	}
+	for _, tr := range rep.Tenants {
+		doc.Tenants.Points = append(doc.Tenants.Points, []interface{}{
+			tr.Name, tr.Jobs,
+			tr.FunctionTime.Round(time.Millisecond).String(),
+			round6(tr.FunctionDollars),
+			round4(tr.MeanSlowdown),
+			tr.MaxWait.Round(time.Millisecond).String(),
+		})
+	}
+	doc.Headline = fmt.Sprintf("%d jobs from %d tenants share one simulated substrate under a %d-activation cap: "+
+		"fair-share admission holds Jain fairness at %.4f over mean slowdowns with p99 completion latency %v, "+
+		"%d workers are handed back under contention, and the platform bill splits across tenants to the exact GB-second.",
+		len(rep.Jobs), len(rep.Tenants), platCap, rep.Jain, rep.P99Latency.Round(time.Millisecond), rep.ScaleIns)
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_tenancy.json"), append(buf, '\n'), 0o644)
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+func round4(x float64) float64 { return float64(int(x*10000+0.5)) / 10000 }
+func round6(x float64) float64 { return float64(int(x*1e6+0.5)) / 1e6 }

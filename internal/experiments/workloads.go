@@ -223,6 +223,44 @@ func LRCriteo(quick bool) *Workload {
 	})
 }
 
+// SVMCriteo is a sparse linear SVM over the same Criteo-shaped data as
+// LRCriteo — the third model family of the zoo (§4.1's "robustness of
+// many ML algorithms"), trained by subgradient descent on the hinge
+// loss with Nesterov momentum.
+func SVMCriteo(quick bool) *Workload {
+	key := "SVM-Criteo"
+	if quick {
+		key += "-quick"
+	}
+	return cached(key, func() *Workload {
+		cfg := dataset.DefaultCriteoConfig()
+		cfg.Samples = 120_000
+		batch := 1250
+		if quick {
+			cfg.Samples = 12_000
+			cfg.HashDim = 20_000
+			batch = 125
+		}
+		dim := cfg.HashDim + cfg.NumericFeatures
+		return &Workload{
+			Name:        key,
+			Paper:       "linear SVM on Criteo-shaped data (zoo extension; hinge loss)",
+			BatchSize:   batch,
+			TargetLoss:  0.64,
+			PrudentLoss: 0.60,
+			V:           0.7,
+			quick:       quick,
+			newModel:    func() model.Model { return model.NewSVM(dim, 1e-4) },
+			newOpt:      func() optimizer.Optimizer { return optimizer.NewNesterov(optimizer.Constant(0.3), 0.9) },
+			generate: func() *dataset.Dataset {
+				ds := dataset.GenerateCriteo(cfg)
+				dataset.NormalizeInPlace(ds, cfg.NumericFeatures)
+				return ds
+			},
+		}
+	})
+}
+
 // PMF10M is probabilistic matrix factorization on MovieLens-10M-scale
 // data: SGD + Nesterov momentum, B = 6250, rank 20 (Table 1).
 func PMF10M(quick bool) *Workload {

@@ -21,6 +21,7 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,9 +54,15 @@ var ErrTooMuchMemory = errors.New("faas: requested memory exceeds platform maxim
 // ErrTerminated reports an operation on an already-terminated instance.
 var ErrTerminated = errors.New("faas: instance already terminated")
 
-// ErrTooManyConcurrent reports that the per-namespace concurrent
-// activation limit is exhausted.
+// ErrTooManyConcurrent reports that a concurrent activation limit —
+// the platform-wide MaxConcurrent cap or a per-namespace quota — is
+// exhausted. The training engine treats it as retryable with backoff
+// (under shared quotas it is a steady-state event, not a failure).
 var ErrTooManyConcurrent = errors.New("faas: concurrent activation limit reached")
+
+// ErrOverRelease reports a Release of more reserved slots than the
+// namespace holds — a control-plane accounting bug.
+var ErrOverRelease = errors.New("faas: released more slots than reserved")
 
 // Config parameterizes the platform.
 type Config struct {
@@ -65,8 +72,9 @@ type Config struct {
 	WarmStart time.Duration
 	// MaxDuration is the hard per-invocation execution limit.
 	MaxDuration time.Duration
-	// MaxConcurrent caps simultaneously running activations per
-	// namespace (IBM's default limit is 1000). 0 disables the cap.
+	// MaxConcurrent caps simultaneously running activations
+	// platform-wide (IBM's default limit is 1000). 0 disables the cap.
+	// Per-namespace caps within it are set with Platform.SetQuota.
 	MaxConcurrent int
 }
 
@@ -94,9 +102,19 @@ type Platform struct {
 	billed   []billedRun
 	warmPool int
 
+	// Multi-tenant accounting (see NamespaceOf): per-namespace quotas,
+	// live activation counts and control-plane reservations. A
+	// reservation models activations that exist in virtual time but are
+	// not host-resident (the fleet scheduler runs admitted jobs
+	// host-serially); both checks in invoke count it as used capacity.
+	quota         map[string]int
+	perNS         map[string]int
+	reserved      map[string]int
+	totalReserved int
+
 	reg *trace.Registry
 	// Counters live in the unified registry under "faas.*".
-	cInvocations, cColdStarts, cWarmStarts, cTerminated, cFailedInvocations, cReclaimed *trace.Counter
+	cInvocations, cColdStarts, cWarmStarts, cTerminated, cFailedInvocations, cReclaimed, cQuotaRejections *trace.Counter
 }
 
 type billedRun struct {
@@ -121,6 +139,9 @@ func NewPlatformWithRegistry(cfg Config, reg *trace.Registry) *Platform {
 	return &Platform{
 		cfg:                cfg,
 		running:            make(map[int]*Instance),
+		quota:              make(map[string]int),
+		perNS:              make(map[string]int),
+		reserved:           make(map[string]int),
 		reg:                reg,
 		cInvocations:       reg.Counter("faas.invocations"),
 		cColdStarts:        reg.Counter("faas.cold_starts"),
@@ -128,7 +149,21 @@ func NewPlatformWithRegistry(cfg Config, reg *trace.Registry) *Platform {
 		cTerminated:        reg.Counter("faas.terminated"),
 		cFailedInvocations: reg.Counter("faas.failed_invocations"),
 		cReclaimed:         reg.Counter("faas.reclaimed"),
+		cQuotaRejections:   reg.Counter("faas.quota_rejections"),
 	}
+}
+
+// NamespaceOf maps a function name to its activation namespace: the
+// prefix up to the first '/', or the whole name when there is none.
+// Engine function names are "<tenant>/jobN/worker-i" under a tenant and
+// "jobN/worker-i" standalone, so a tenant's jobs share one namespace
+// and standalone jobs each get their own — collision-free by
+// construction because tenant names may not contain '/'.
+func NamespaceOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // Registry returns the metrics registry the platform's counters live in.
@@ -177,6 +212,7 @@ type Instance struct {
 
 	startAt    time.Duration
 	terminated bool
+	ns         string // activation namespace (NamespaceOf(Name))
 }
 
 // Invoke launches a function of memoryMiB at virtual time at. The first
@@ -211,8 +247,15 @@ func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCol
 		p.cFailedInvocations.Inc()
 		return nil, fmt.Errorf("invoke %s at %v: %w", name, at, faults.ErrInjected)
 	}
-	if p.cfg.MaxConcurrent > 0 && len(p.running) >= p.cfg.MaxConcurrent {
-		return nil, fmt.Errorf("invoke %s (%d running): %w", name, len(p.running), ErrTooManyConcurrent)
+	if p.cfg.MaxConcurrent > 0 && len(p.running)+p.totalReserved >= p.cfg.MaxConcurrent {
+		p.cQuotaRejections.Inc()
+		return nil, fmt.Errorf("invoke %s (%d running): %w", name, len(p.running)+p.totalReserved, ErrTooManyConcurrent)
+	}
+	ns := NamespaceOf(name)
+	if q := p.quota[ns]; q > 0 && p.perNS[ns]+p.reserved[ns] >= q {
+		p.cQuotaRejections.Inc()
+		return nil, fmt.Errorf("invoke %s (namespace %s: %d of %d activations used): %w",
+			name, ns, p.perNS[ns]+p.reserved[ns], q, ErrTooManyConcurrent)
 	}
 
 	start := p.cfg.ColdStart
@@ -235,6 +278,7 @@ func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCol
 		MemoryMiB: memoryMiB,
 		Cold:      cold,
 		startAt:   at,
+		ns:        ns,
 	}
 	if life := p.faults.ReclaimAfter(name, at); life > 0 {
 		inst.ReclaimAt = at + start + life
@@ -242,7 +286,91 @@ func (p *Platform) invoke(name string, memoryMiB int, at time.Duration, forceCol
 	p.nextID++
 	inst.Clock.AdvanceTo(at + start)
 	p.running[inst.ID] = inst
+	p.perNS[ns]++
 	return inst, nil
+}
+
+// SetQuota caps the namespace's simultaneously running activations at
+// max (counting reservations); max <= 0 removes the cap. Quotas compose
+// with the platform-wide MaxConcurrent: an invocation must clear both.
+func (p *Platform) SetQuota(ns string, max int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if max <= 0 {
+		delete(p.quota, ns)
+		return
+	}
+	p.quota[ns] = max
+}
+
+// Quota returns the namespace's activation cap (0 = uncapped).
+func (p *Platform) Quota(ns string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quota[ns]
+}
+
+// Reserve claims n activation slots in the namespace without running
+// anything: the fleet control plane executes admitted jobs one at a
+// time in host order, so a job that is live in *virtual* time holds its
+// capacity as a reservation while other jobs' invocations are checked
+// against it. Reserve fails atomically (no partial claim) when the
+// namespace quota or the platform-wide cap cannot cover the slots.
+func (p *Platform) Reserve(ns string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.MaxConcurrent > 0 && len(p.running)+p.totalReserved+n > p.cfg.MaxConcurrent {
+		p.cQuotaRejections.Inc()
+		return fmt.Errorf("reserve %d in %s (%d in use, cap %d): %w",
+			n, ns, len(p.running)+p.totalReserved, p.cfg.MaxConcurrent, ErrTooManyConcurrent)
+	}
+	if q := p.quota[ns]; q > 0 && p.perNS[ns]+p.reserved[ns]+n > q {
+		p.cQuotaRejections.Inc()
+		return fmt.Errorf("reserve %d in %s (%d of %d used): %w",
+			n, ns, p.perNS[ns]+p.reserved[ns], q, ErrTooManyConcurrent)
+	}
+	p.reserved[ns] += n
+	p.totalReserved += n
+	return nil
+}
+
+// Release returns n reserved slots to the namespace. Releasing more
+// than is reserved is an accounting bug and returns ErrOverRelease
+// without changing anything.
+func (p *Platform) Release(ns string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reserved[ns] < n {
+		return fmt.Errorf("release %d in %s (%d reserved): %w", n, ns, p.reserved[ns], ErrOverRelease)
+	}
+	p.reserved[ns] -= n
+	if p.reserved[ns] == 0 {
+		delete(p.reserved, ns)
+	}
+	p.totalReserved -= n
+	return nil
+}
+
+// InUse reports the namespace's consumed capacity: live activations
+// plus reservations.
+func (p *Platform) InUse(ns string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.perNS[ns] + p.reserved[ns]
+}
+
+// TotalInUse reports platform-wide consumed capacity (running plus all
+// reservations) — what invoke checks against Config.MaxConcurrent.
+func (p *Platform) TotalInUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.running) + p.totalReserved
 }
 
 // Terminate ends an invocation, records its elapsed time for BillTo, and
@@ -276,6 +404,9 @@ func (p *Platform) end(inst *Instance, m *cost.Meter, warm bool) error {
 	}
 	inst.terminated = true
 	delete(p.running, inst.ID)
+	if p.perNS[inst.ns]--; p.perNS[inst.ns] == 0 {
+		delete(p.perNS, inst.ns)
+	}
 	if warm {
 		p.warmPool++
 	} else {

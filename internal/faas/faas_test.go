@@ -2,7 +2,9 @@ package faas
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -295,5 +297,203 @@ func TestReclaimBillsOnlyToReclaimPoint(t *testing.T) {
 	}
 	if got := next.Clock.Now() - inst.ReclaimAt; got != DefaultConfig().ColdStart {
 		t.Fatalf("post-reclaim start latency %v, want the cold %v", got, DefaultConfig().ColdStart)
+	}
+}
+
+func TestNamespaceOf(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"job1/worker-3", "job1"},
+		{"t2/job7/worker-0-r1", "t2"},
+		{"supervisor", "supervisor"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NamespaceOf(c.name); got != c.want {
+			t.Errorf("NamespaceOf(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestQuotaExhaustion(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	p.SetQuota("t1", 2)
+	a, err := p.Invoke("t1/job1/worker-0", 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("t1/job1/worker-1", 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Third activation in t1 must bounce; other namespaces are untouched.
+	if _, err := p.Invoke("t1/job2/worker-0", 256, 0); !errors.Is(err, ErrTooManyConcurrent) {
+		t.Fatalf("over-quota invoke err = %v", err)
+	}
+	if _, err := p.Invoke("t2/job3/worker-0", 256, 0); err != nil {
+		t.Fatalf("unrelated namespace rejected: %v", err)
+	}
+	if got := p.Registry().Counter("faas.quota_rejections").Load(); got != 1 {
+		t.Fatalf("quota_rejections = %d, want 1", got)
+	}
+	// Terminate frees a slot: the namespace admits again.
+	if err := p.Terminate(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("t1/job2/worker-0", 256, time.Second); err != nil {
+		t.Fatalf("post-terminate invoke: %v", err)
+	}
+}
+
+func TestQuotaReleasedOnReclaim(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	p.SetQuota("t1", 1)
+	inst, err := p.Invoke("t1/job1/worker-0", 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m cost.Meter
+	if err := p.Reclaim(inst, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InUse("t1"); got != 0 {
+		t.Fatalf("InUse after reclaim = %d, want 0", got)
+	}
+	if _, err := p.Invoke("t1/job1/worker-0-r1", 256, time.Second); err != nil {
+		t.Fatalf("post-reclaim invoke: %v", err)
+	}
+}
+
+func TestReserveCountsAgainstQuotaAndCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 4
+	p := NewPlatform(cfg)
+	p.SetQuota("t1", 3)
+
+	if err := p.Reserve("t1", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Quota 3, 2 reserved: one live activation fits, the next does not.
+	if _, err := p.Invoke("t1/job1/worker-0", 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("t1/job1/worker-1", 256, 0); !errors.Is(err, ErrTooManyConcurrent) {
+		t.Fatalf("err = %v", err)
+	}
+	// Platform-wide: 1 running + 2 reserved = 3 of 4; a second namespace
+	// gets exactly one slot.
+	if _, err := p.Invoke("t2/job2/worker-0", 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("t2/job2/worker-1", 256, 0); !errors.Is(err, ErrTooManyConcurrent) {
+		t.Fatalf("platform cap err = %v", err)
+	}
+	// Reservations beyond capacity fail atomically.
+	if err := p.Reserve("t2", 1); !errors.Is(err, ErrTooManyConcurrent) {
+		t.Fatalf("over-cap reserve err = %v", err)
+	}
+	if err := p.Release("t1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InUse("t1"); got != 1 {
+		t.Fatalf("InUse after release = %d, want 1", got)
+	}
+	if err := p.Release("t1", 5); !errors.Is(err, ErrOverRelease) {
+		t.Fatalf("over-release err = %v", err)
+	}
+	if got, want := p.TotalInUse(), 2; got != want {
+		t.Fatalf("TotalInUse = %d, want %d", got, want)
+	}
+}
+
+func TestQuotaAccountingAcrossTenants(t *testing.T) {
+	p := NewPlatform(DefaultConfig())
+	p.SetQuota("t1", 2)
+	p.SetQuota("t2", 2)
+	var insts []*Instance
+	for _, name := range []string{"t1/job1/worker-0", "t1/job1/supervisor", "t2/job2/worker-0"} {
+		inst, err := p.Invoke(name, 256, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	if got := p.InUse("t1"); got != 2 {
+		t.Fatalf("t1 in use = %d", got)
+	}
+	if got := p.InUse("t2"); got != 1 {
+		t.Fatalf("t2 in use = %d", got)
+	}
+	if got := p.Quota("t1"); got != 2 {
+		t.Fatalf("Quota(t1) = %d", got)
+	}
+	for _, inst := range insts {
+		if err := p.Terminate(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.InUse("t1") != 0 || p.InUse("t2") != 0 || p.TotalInUse() != 0 {
+		t.Fatalf("capacity not fully released: t1=%d t2=%d total=%d",
+			p.InUse("t1"), p.InUse("t2"), p.TotalInUse())
+	}
+	// SetQuota(ns, 0) removes the cap.
+	p.SetQuota("t1", 0)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Invoke("t1/job9/worker", 256, 0); err != nil {
+			t.Fatalf("uncapped invoke %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentAdmitsRace drives concurrent invokes, reservations and
+// terminations against a tight quota under -race: the platform must
+// never exceed the caps and must end with clean accounting.
+func TestConcurrentAdmitsRace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 16
+	p := NewPlatform(cfg)
+	p.SetQuota("t1", 8)
+	p.SetQuota("t2", 8)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		ns := "t1"
+		if g%2 == 1 {
+			ns = "t2"
+		}
+		wg.Add(1)
+		go func(g int, ns string) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 3 {
+				case 0, 1:
+					inst, err := p.Invoke(fmt.Sprintf("%s/job%d/worker-%d", ns, g, i), 256, 0)
+					if err != nil {
+						if !errors.Is(err, ErrTooManyConcurrent) {
+							t.Errorf("invoke: %v", err)
+						}
+						continue
+					}
+					if got := p.InUse(ns); got > 8 {
+						t.Errorf("namespace %s over quota: %d", ns, got)
+					}
+					if err := p.Terminate(inst); err != nil {
+						t.Errorf("terminate: %v", err)
+					}
+				default:
+					if err := p.Reserve(ns, 1); err != nil {
+						if !errors.Is(err, ErrTooManyConcurrent) {
+							t.Errorf("reserve: %v", err)
+						}
+						continue
+					}
+					if err := p.Release(ns, 1); err != nil {
+						t.Errorf("release: %v", err)
+					}
+				}
+			}
+		}(g, ns)
+	}
+	wg.Wait()
+	if p.TotalInUse() != 0 {
+		t.Fatalf("TotalInUse = %d after drain", p.TotalInUse())
 	}
 }

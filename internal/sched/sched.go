@@ -127,6 +127,10 @@ type Tuner struct {
 
 	lastEpochAt time.Duration
 	decisions   []Decision
+
+	// pendingShrink counts workers the control plane has asked the job
+	// to give up (RequestShrink) but the tuner has not yet honored.
+	pendingShrink int
 }
 
 // New returns a tuner for a job that starts with initialWorkers workers.
@@ -187,6 +191,80 @@ func (t *Tuner) NotifyRemoval(step int) {
 	t.durSinceCount = 0
 }
 
+// tryKnee runs knee detection on the observed losses and, on first
+// success, fits the reference curve L_P and records d_P. It reports
+// whether the knee is (now) found. Idempotent once found.
+func (t *Tuner) tryKnee() bool {
+	if t.kneeFound {
+		return true
+	}
+	idx, ok := t.cfg.Knee.Detect(t.losses)
+	if !ok {
+		return false
+	}
+	// Fit the reference curve on the full history collected so far
+	// ("uses the history of loss values at this time", §4.2).
+	ts := make([]float64, len(t.losses))
+	for i := range ts {
+		ts[i] = float64(i + 1)
+	}
+	ref, err := fit.FitCurve(fit.ReferenceCurve{}, ts, t.losses, fit.FitOptions{})
+	if err != nil {
+		return false
+	}
+	t.kneeFound = true
+	t.kneeStep = idx + 1
+	t.refCurve = ref
+	if t.totalSteps > 0 {
+		t.refDur = t.totalDur / time.Duration(t.totalSteps)
+	}
+	return true
+}
+
+// RequestShrink records a control-plane request for the job to give up
+// n workers — the multi-tenant admission scheduler's lever for shedding
+// load off a contended shared platform. Requests accumulate until
+// DecideShrink resolves them.
+func (t *Tuner) RequestShrink(n int) {
+	if n > 0 {
+		t.pendingShrink += n
+	}
+}
+
+// PendingShrink reports the not-yet-honored shrink-request balance.
+func (t *Tuner) PendingShrink() int { return t.pendingShrink }
+
+// DecideShrink resolves at most one pending shrink request at virtual
+// time now, with the current training step and worker count. The guards
+// mirror the auto-tuner's own protocol: a request is honored only after
+// the loss-curve knee (scaling in before it impairs convergence, §4.2)
+// and never below the MinWorkers floor — requests that hit the floor
+// are dropped, since the floor makes them unsatisfiable for the rest of
+// the run. Unlike Decide it is not epoch-gated: the control plane
+// already paced the request. The engine must call NotifyRemoval when it
+// honours a Remove decision.
+func (t *Tuner) DecideShrink(now time.Duration, step, workers int) Decision {
+	var d Decision
+	switch {
+	case t.pendingShrink == 0:
+		d = Decision{Step: step, Reason: "no-shrink-pending"}
+	case !t.tryKnee():
+		d = Decision{Step: step, Reason: "before-knee"}
+	case workers <= t.cfg.MinWorkers:
+		t.pendingShrink = 0
+		d = Decision{Step: step, Reason: "at-min-workers"}
+	default:
+		t.pendingShrink--
+		d = Decision{Step: step, Remove: true, Reason: "pool-shrink"}
+	}
+	t.decisions = append(t.decisions, d)
+	if t.tracer.Enabled() {
+		t.tracer.InstantOn(t.track, trace.CatSched, d.Reason, now,
+			trace.Int("step", d.Step), trace.Float("s_delta", d.SDelta))
+	}
+	return d
+}
+
 // Decide runs one scheduling epoch at virtual time now, with the current
 // training step and worker count. The engine must call NotifyRemoval when
 // it honours a Remove decision.
@@ -214,25 +292,8 @@ func (t *Tuner) decide(step, workers int) Decision {
 	// (§4.2: "After estimation of these quantities, the scheduler
 	// removes the worker with the lowest-quality replica").
 	if !t.kneeFound {
-		idx, ok := t.cfg.Knee.Detect(t.losses)
-		if !ok {
+		if !t.tryKnee() {
 			return Decision{Step: step, Reason: "before-knee"}
-		}
-		// Fit the reference curve on the full history collected so far
-		// ("uses the history of loss values at this time", §4.2).
-		ts := make([]float64, len(t.losses))
-		for i := range ts {
-			ts[i] = float64(i + 1)
-		}
-		ref, err := fit.FitCurve(fit.ReferenceCurve{}, ts, t.losses, fit.FitOptions{})
-		if err != nil {
-			return Decision{Step: step, Reason: "before-knee"}
-		}
-		t.kneeFound = true
-		t.kneeStep = idx + 1
-		t.refCurve = ref
-		if t.totalSteps > 0 {
-			t.refDur = t.totalDur / time.Duration(t.totalSteps)
 		}
 		return Decision{Step: step, Remove: true, Reason: "knee"}
 	}

@@ -229,3 +229,136 @@ func TestFasterStepsExtendHorizonSteps(t *testing.T) {
 		t.Fatalf("mean s_Δ = %v; expected ≈ 0 for equal convergence with faster steps", sum/float64(len(sAfter)))
 	}
 }
+
+// feedShrink drives a tuner with the synthetic decay curve while a
+// control-plane shrink request for n workers is pending from the start.
+// It returns the steps at which shrink removals were honored and the
+// decision reasons seen, pinning the admission-path behavior.
+func feedShrink(t *Tuner, n, steps int, dur time.Duration, workers int) (removals []int, reasons []string) {
+	t.RequestShrink(n)
+	now := time.Duration(0)
+	for step := 1; step <= steps; step++ {
+		now += dur
+		loss := 0.5 + 1.2*math.Exp(-4*float64(step)/float64(steps/3))
+		t.Observe(step, loss, dur)
+		for t.PendingShrink() > 0 {
+			d := t.DecideShrink(now, step, workers)
+			reasons = append(reasons, d.Reason)
+			if !d.Remove {
+				break
+			}
+			removals = append(removals, step)
+			workers--
+			t.NotifyRemoval(step)
+		}
+	}
+	return removals, reasons
+}
+
+func TestShrinkWaitsForKnee(t *testing.T) {
+	tuner := New(Config{})
+	removals, reasons := feedShrink(tuner, 2, 400, time.Second, 24)
+	if len(removals) != 2 {
+		t.Fatalf("shrink removals = %v, want 2 honored", removals)
+	}
+	kneeStep, found := tuner.KneeStep()
+	if !found {
+		t.Fatal("knee not recorded")
+	}
+	for _, step := range removals {
+		if step < kneeStep {
+			t.Fatalf("shrink honored at step %d, before knee %d", step, kneeStep)
+		}
+	}
+	// Every pre-knee poll must have refused with "before-knee"; the
+	// honored ones are "pool-shrink".
+	for i, r := range reasons {
+		if r != "before-knee" && r != "pool-shrink" {
+			t.Fatalf("reason[%d] = %q", i, r)
+		}
+	}
+	if tuner.PendingShrink() != 0 {
+		t.Fatalf("pending = %d after honoring", tuner.PendingShrink())
+	}
+}
+
+func TestShrinkRespectsMinWorkersFloor(t *testing.T) {
+	tuner := New(Config{MinWorkers: 8})
+	// Ask for far more than the pool can give: the floor must stop the
+	// shrink and drop the unsatisfiable remainder.
+	removals, _ := feedShrink(tuner, 100, 400, time.Second, 10)
+	if len(removals) != 2 {
+		t.Fatalf("removals = %d, want 2 (10 -> floor 8)", len(removals))
+	}
+	if tuner.PendingShrink() != 0 {
+		t.Fatalf("unsatisfiable requests not dropped: pending = %d", tuner.PendingShrink())
+	}
+	last := tuner.Decisions()[len(tuner.Decisions())-1]
+	if last.Reason != "at-min-workers" {
+		t.Fatalf("last reason = %q, want at-min-workers", last.Reason)
+	}
+	// At the floor, further polls keep refusing.
+	tuner.RequestShrink(1)
+	if d := tuner.DecideShrink(500*time.Second, 401, 8); d.Remove {
+		t.Fatal("removed below MinWorkers")
+	}
+}
+
+func TestShrinkNoPendingIsNoOp(t *testing.T) {
+	tuner := New(Config{})
+	d := tuner.DecideShrink(time.Second, 1, 24)
+	if d.Remove || d.Reason != "no-shrink-pending" {
+		t.Fatalf("decision = %+v", d)
+	}
+	tuner.RequestShrink(0)
+	tuner.RequestShrink(-3)
+	if tuner.PendingShrink() != 0 {
+		t.Fatalf("non-positive requests accumulated: %d", tuner.PendingShrink())
+	}
+}
+
+// TestShrinkDeterministicAcrossRuns pins that the shrink-decision
+// sequence is a pure function of the observation stream: two tuners fed
+// the same seeded curve and request schedule decide identically.
+func TestShrinkDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]int, []string) {
+		tuner := New(Config{MinWorkers: 4})
+		return feedShrink(tuner, 3, 300, 750*time.Millisecond, 16)
+	}
+	r1, reasons1 := run()
+	r2, reasons2 := run()
+	if len(r1) != len(r2) {
+		t.Fatalf("removal counts differ: %v vs %v", r1, r2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("removal steps differ at %d: %v vs %v", i, r1, r2)
+		}
+	}
+	if len(reasons1) != len(reasons2) {
+		t.Fatalf("reason logs differ: %d vs %d", len(reasons1), len(reasons2))
+	}
+	for i := range reasons1 {
+		if reasons1[i] != reasons2[i] {
+			t.Fatalf("reasons differ at %d: %q vs %q", i, reasons1[i], reasons2[i])
+		}
+	}
+}
+
+// TestShrinkDoesNotPerturbAutoTune pins that merely honoring a shrink
+// request resets the auto-tuner's fit window the same way its own
+// removals do (via NotifyRemoval in the driver above), and that the
+// auto-tune decision path still works after shrink removals.
+func TestShrinkThenAutoTuneStillDecides(t *testing.T) {
+	tuner := New(Config{Epoch: time.Second, MinWorkers: 4})
+	removals, _ := feedShrink(tuner, 1, 200, time.Second, 24)
+	if len(removals) != 1 {
+		t.Fatalf("shrink removals = %v", removals)
+	}
+	// The knee was consumed by the shrink; the auto-tuner must continue
+	// from the estimation phase without re-removing at a "knee".
+	d := tuner.Decide(1000*time.Second, 201, 23)
+	if d.Reason == "knee" || d.Reason == "before-knee" {
+		t.Fatalf("auto-tune phase after shrink = %q", d.Reason)
+	}
+}

@@ -1,0 +1,193 @@
+package tenant
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// JobRecord is one completed job's control-plane view.
+type JobRecord struct {
+	// ID is the job's namespace on the shared substrate ("t1/job3").
+	ID string
+	// Tenant and Workload identify who asked for what.
+	Tenant, Workload string
+	// ArriveAt, AdmitAt and CompleteAt are the job's virtual milestones.
+	ArriveAt, AdmitAt, CompleteAt time.Duration
+	// Wait is AdmitAt-ArriveAt; Exec is the engine's ExecTime.
+	Wait, Exec time.Duration
+	// Workers is the requested pool width; Shrunk counts workers the
+	// job handed back under contention-triggered scale-in.
+	Workers, Shrunk int
+	// FunctionTime is the job's share of the platform's billed function
+	// seconds; FunctionDollars its function charges.
+	FunctionTime    time.Duration
+	FunctionDollars float64
+	// Converged, FinalLoss and Steps summarize the training outcome.
+	Converged bool
+	FinalLoss float64
+	Steps     int
+}
+
+// Slowdown is the job's completion latency relative to running
+// unqueued: (wait+exec)/exec, 1.0 for a job admitted on arrival.
+func (j JobRecord) Slowdown() float64 {
+	if j.Exec <= 0 {
+		return 1
+	}
+	return float64(j.Wait+j.Exec) / float64(j.Exec)
+}
+
+// TenantReport aggregates one tenant's slice of the fleet.
+type TenantReport struct {
+	// Name is the tenant.
+	Name string
+	// Jobs counts its completed jobs.
+	Jobs int
+	// FunctionTime and FunctionDollars are its shares of the platform
+	// function bill; per-tenant FunctionTime sums to the platform's
+	// BilledFunctionSeconds exactly (no orphaned or double-counted
+	// GB-seconds).
+	FunctionTime    time.Duration
+	FunctionDollars float64
+	// MeanSlowdown is the mean of its jobs' Slowdowns — the fairness
+	// quantity the Jain index is computed over.
+	MeanSlowdown float64
+	// MaxWait is its worst queueing delay.
+	MaxWait time.Duration
+}
+
+// Report is the outcome of a fleet run.
+type Report struct {
+	// Jobs is every completed job in admission order.
+	Jobs []JobRecord
+	// Tenants is the per-tenant aggregation, sorted by name.
+	Tenants []TenantReport
+	// Events is the control-plane log, time-ordered.
+	Events []Event
+	// Makespan is the last completion instant.
+	Makespan time.Duration
+	// ThroughputPerHour is completed jobs per virtual hour of makespan.
+	ThroughputPerHour float64
+	// Jain is Jain's fairness index over per-tenant mean slowdowns:
+	// 1.0 when every tenant is slowed equally, 1/n when one tenant
+	// absorbs all the queueing.
+	Jain float64
+	// P50Latency and P99Latency are percentiles of job completion
+	// latency (wait+exec) across all jobs.
+	P50Latency, P99Latency time.Duration
+	// FunctionTime is the platform-wide billed function time.
+	FunctionTime time.Duration
+	// FunctionDollars is the platform-wide function spend.
+	FunctionDollars float64
+	// ScaleIns counts workers handed back under contention.
+	ScaleIns int
+}
+
+// report assembles the Report after the event loop drains.
+func (f *fleet) report() *Report {
+	r := &Report{Jobs: f.jobs}
+
+	sort.SliceStable(f.events, func(i, j int) bool {
+		if f.events[i].At != f.events[j].At {
+			return f.events[i].At < f.events[j].At
+		}
+		return f.events[i].seq < f.events[j].seq
+	})
+	r.Events = f.events
+
+	perTenant := map[string]*TenantReport{}
+	var latencies []time.Duration
+	slow := map[string][]float64{}
+	for _, j := range f.jobs {
+		t := perTenant[j.Tenant]
+		if t == nil {
+			t = &TenantReport{Name: j.Tenant}
+			perTenant[j.Tenant] = t
+		}
+		t.Jobs++
+		t.FunctionTime += j.FunctionTime
+		t.FunctionDollars += j.FunctionDollars
+		if j.Wait > t.MaxWait {
+			t.MaxWait = j.Wait
+		}
+		slow[j.Tenant] = append(slow[j.Tenant], j.Slowdown())
+		latencies = append(latencies, j.Wait+j.Exec)
+		if j.CompleteAt > r.Makespan {
+			r.Makespan = j.CompleteAt
+		}
+		r.FunctionTime += j.FunctionTime
+		r.FunctionDollars += j.FunctionDollars
+		r.ScaleIns += j.Shrunk
+	}
+
+	var means []float64
+	names := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := perTenant[name]
+		for _, s := range slow[name] {
+			t.MeanSlowdown += s
+		}
+		t.MeanSlowdown /= float64(len(slow[name]))
+		means = append(means, t.MeanSlowdown)
+		r.Tenants = append(r.Tenants, *t)
+	}
+	r.Jain = jain(means)
+	if r.Makespan > 0 {
+		r.ThroughputPerHour = float64(len(f.jobs)) / r.Makespan.Hours()
+	}
+	r.P50Latency = percentile(latencies, 0.50)
+	r.P99Latency = percentile(latencies, 0.99)
+	return r
+}
+
+// jain is Jain's fairness index (ΣX)²/(n·ΣX²) ∈ (0, 1].
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of ds.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteEvents renders the control-plane log, one event per line. The
+// output is the fleet's determinism artifact: byte-identical across
+// same-seed runs.
+func (r *Report) WriteEvents(w io.Writer) error {
+	for _, ev := range r.Events {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
