@@ -35,14 +35,24 @@ func stepMallocs(t testing.TB, steps int, spec Spec) float64 {
 // publish, bounded here so future PRs cannot silently reintroduce
 // per-step churn in the numeric hot path. (At the seed this marginal
 // cost was ~285 allocs/step; the zero-allocation pass brought it under
-// 200.)
+// 200.) A plain Spec{} is tail-eligible, so the measured path is the
+// pipelined supervisor tail — the overlap hook proves it actually ran,
+// keeping the resident goroutine's channel traffic under the same
+// bound.
 func TestSteadyStateStepAllocsBounded(t *testing.T) {
+	overlapped := 0
+	tailOverlapHook = func() { overlapped++ }
+	defer func() { tailOverlapHook = nil }()
+
 	spec := Spec{}
 	stepMallocs(t, 10, spec) // warm pools, caches and lazy scratch
 	short := stepMallocs(t, 40, spec)
 	long := stepMallocs(t, 120, spec)
 	marginal := (long - short) / 80
-	t.Logf("marginal allocations per step: %.1f", marginal)
+	t.Logf("marginal allocations per step: %.1f (%d tails overlapped)", marginal, overlapped)
+	if overlapped == 0 {
+		t.Fatal("pipelined supervisor tail never launched: the guard measured the wrong path")
+	}
 	if marginal > 250 {
 		t.Fatalf("steady-state step allocates %.1f per step, want <= 250", marginal)
 	}

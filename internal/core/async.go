@@ -119,15 +119,26 @@ func (a Async) Run(e *engine) (*Result, error) {
 		}
 
 		// Commit the round in (clock, id) order — the same total order
-		// the partitioner anchors on, now over the post-step clocks.
+		// the partitioner anchors on, now over the post-step clocks. The
+		// per-worker limit checks are independent reads, so they run as
+		// one more driver phase; only the scan below, which surfaces the
+		// first failure in the committed order and performs the actual
+		// state commit, is serial.
 		sortByClockID(group)
+		if err := e.drv.Phase(group, func(w *Worker) error {
+			w.limitErr = nil
+			if !dead(w.inst) {
+				w.limitErr = w.inst.CheckLimit(cfg)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 		for _, w := range group {
 			st := states[w.id]
 			step := st.done + 1
-			if !dead(w.inst) {
-				if err := w.inst.CheckLimit(cfg); err != nil {
-					return nil, fmt.Errorf("core: step %d: %w", step, err)
-				}
+			if err := w.limitErr; err != nil {
+				return nil, fmt.Errorf("core: step %d: %w", step, err)
 			}
 			st.done = step
 			st.pubAt[step] = w.inst.Clock.Now()

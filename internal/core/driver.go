@@ -23,8 +23,8 @@ const (
 	// DriverSeq runs each group's workers one at a time on the calling
 	// goroutine, in the group's (clock, id) order.
 	DriverSeq = "seq"
-	// DriverPar (the default) runs each group's workers on a goroutine
-	// pool bounded by GOMAXPROCS.
+	// DriverPar (the default) runs each group's workers on a persistent
+	// goroutine pool sized min(GOMAXPROCS, len(group)).
 	DriverPar = "par"
 )
 
@@ -36,13 +36,17 @@ var ErrUnknownDriver = errors.New(`core: unknown driver (want "seq" or "par")`)
 // stop at the first failure (a later worker's error is often the cause
 // of an earlier one's symptom under fault injection), and must join the
 // collected errors in group order so multi-worker failures render
-// identically whatever the execution interleaving was.
+// identically whatever the execution interleaving was. Phase is never
+// called concurrently on one driver; Close releases pool resources
+// once the run is over.
 type driver interface {
 	// Name returns the Spec.Driver value that selects this driver.
 	Name() string
 	// Phase runs fn for every worker in group and joins their errors in
 	// group order.
 	Phase(group []*Worker, fn func(*Worker) error) error
+	// Close retires the driver; Phase must not be called afterwards.
+	Close()
 }
 
 // driverFor resolves a Spec.Driver value. The empty string selects the
@@ -50,7 +54,7 @@ type driver interface {
 func driverFor(name string) (driver, error) {
 	switch name {
 	case "", DriverPar:
-		return parDriver{}, nil
+		return &parDriver{}, nil
 	case DriverSeq:
 		return seqDriver{}, nil
 	}
@@ -72,20 +76,55 @@ func (seqDriver) Phase(group []*Worker, fn func(*Worker) error) error {
 	return errors.Join(errs...)
 }
 
-// parDriver runs a group's workers on a goroutine pool. Workers within
-// a group are independent (the lookahead partition guarantees it) and
-// the shared services are thread-safe, so the pool only changes
-// wall-clock time, never results.
-type parDriver struct{}
+// Close implements driver.
+func (seqDriver) Close() {}
+
+// parDriver runs a group's workers on a persistent goroutine pool.
+// Workers within a group are independent (the lookahead partition
+// guarantees it) and the shared services are thread-safe, so the pool
+// only changes wall-clock time, never results.
+//
+// The pool is lazily grown and persists across Phase calls, so the
+// steady-state step spawns no goroutines and allocates nothing: each
+// phase hands the resident helpers one reusable job descriptor and the
+// calling goroutine steals work alongside them. A phase engages
+// min(GOMAXPROCS, len(group)) executors — narrow cohorts
+// (post-reclamation stragglers) stop paying idle-helper wakeups.
+type parDriver struct {
+	spawned int            // resident helper goroutines
+	work    chan *phaseJob // helpers block here between phases
+	job     phaseJob       // reusable descriptor (Phase is serialized)
+}
+
+// phaseJob is one phase's shared work-stealing state.
+type phaseJob struct {
+	group []*Worker
+	fn    func(*Worker) error
+	errs  []error
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run steals workers until the group is drained.
+func (j *phaseJob) run() {
+	n := len(j.group)
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= n {
+			return
+		}
+		j.errs[i] = j.fn(j.group[i])
+	}
+}
 
 // Name implements driver.
-func (parDriver) Name() string { return DriverPar }
+func (*parDriver) Name() string { return DriverPar }
 
-// Phase implements driver. The pool is bounded by GOMAXPROCS but always
-// keeps at least two goroutines for a multi-worker group, so the race
-// detector observes cross-worker interleavings even on a single-CPU
-// host.
-func (parDriver) Phase(group []*Worker, fn func(*Worker) error) error {
+// Phase implements driver. The executor count is min(GOMAXPROCS,
+// len(group)), but always at least two for a multi-worker group under
+// the race detector, so it observes cross-worker interleavings even on
+// a single-CPU host.
+func (d *parDriver) Phase(group []*Worker, fn func(*Worker) error) error {
 	n := len(group)
 	if n == 0 {
 		return nil
@@ -93,29 +132,63 @@ func (parDriver) Phase(group []*Worker, fn func(*Worker) error) error {
 	if n == 1 {
 		return fn(group[0])
 	}
-	pool := runtime.GOMAXPROCS(0)
-	if pool < 2 {
-		pool = 2
+	par := runtime.GOMAXPROCS(0)
+	if raceEnabled && par < 2 {
+		par = 2
 	}
-	if pool > n {
-		pool = n
+	if par > n {
+		par = n
 	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(pool)
-	for p := 0; p < pool; p++ {
+
+	j := &d.job
+	j.group, j.fn = group, fn
+	if cap(j.errs) < n {
+		j.errs = make([]error, n)
+	}
+	j.errs = j.errs[:n]
+	for i := range j.errs {
+		j.errs[i] = nil
+	}
+	j.next.Store(0)
+
+	helpers := par - 1
+	d.ensure(helpers)
+	j.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		d.work <- j
+	}
+	j.run()
+	j.wg.Wait()
+
+	err := errors.Join(j.errs...)
+	j.group, j.fn = nil, nil
+	return err
+}
+
+// ensure grows the resident helper pool to at least n goroutines.
+func (d *parDriver) ensure(n int) {
+	if d.spawned >= n {
+		return
+	}
+	if d.work == nil {
+		d.work = make(chan *phaseJob, runtime.GOMAXPROCS(0)+2)
+	}
+	for ; d.spawned < n; d.spawned++ {
 		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = fn(group[i])
+			for j := range d.work {
+				j.run()
+				j.wg.Done()
 			}
 		}()
 	}
-	wg.Wait()
-	return errors.Join(errs...)
+}
+
+// Close implements driver: resident helpers exit. Phase must not be
+// called after Close.
+func (d *parDriver) Close() {
+	if d.work != nil {
+		close(d.work)
+		d.work = nil
+		d.spawned = 0
+	}
 }

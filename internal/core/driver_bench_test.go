@@ -28,6 +28,14 @@ func benchmarkDriver(b *testing.B, driver string, workers, steps int) {
 func BenchmarkDriver100WorkersSeq(b *testing.B) { benchmarkDriver(b, DriverSeq, 100, 30) }
 func BenchmarkDriver100WorkersPar(b *testing.B) { benchmarkDriver(b, DriverPar, 100, 30) }
 
+// The narrow-cohort pair pins the degenerate end of the spectrum: two
+// async workers yield lookahead groups of width at most 2, so the
+// parallel driver's pool — sized min(GOMAXPROCS, cohort width) — must
+// not pay for goroutines it can never feed. Par staying within noise of
+// Seq here is the regression guard for the pool-sizing rule.
+func BenchmarkDriverNarrowCohortSeq(b *testing.B) { benchmarkDriver(b, DriverSeq, 2, 200) }
+func BenchmarkDriverNarrowCohortPar(b *testing.B) { benchmarkDriver(b, DriverPar, 2, 200) }
+
 // TestAsyncCohortWidthAtScale records the lookahead-group widths of a
 // 100-worker async run: the mean width is the parallelism the driver
 // can exploit per round, i.e. the upper bound on multi-core speedup.

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Supervisor-tail pipelining (DESIGN.md §15): under lock-step, the
+// supervisor's per-step bookkeeping — advancing its clock to the
+// barrier, draining the loss queue, smoothing and recording the step —
+// serializes after every parallel cohort. When the lookahead predicate
+// below proves the tail of step r cannot interact with the front half
+// of step r+1, the engine runs it on a persistent goroutine while the
+// workers' recover/merge/fetch/compute states of the next step execute,
+// joining before the publish half (the only sub-phase that touches the
+// loss queue the tail drains). Virtual time is untouched: the overlap
+// reorders host work only, and every quantity the tail computes is a
+// pure function of state fixed at launch, so results stay bit-identical
+// to the serial tail.
+//
+// Static eligibility (tailEligible): no stop criteria other than
+// MaxSteps (TargetLoss, Patience, MaxWallClock all unset), no tuner, no
+// tracer, no fault injector, per-step barriers (Staleness <= 1). Under
+// those gates the serial tail's only side effects are the supervisor
+// clock, the loss history and the smoother — all joined before anyone
+// else reads them.
+//
+// Dynamic per-step guards (the lookahead predicate):
+//
+//   - tame losses: the stop check could still fire on a NaN/Inf
+//     aggregate. Every report the tail will drain carries a worker's
+//     just-published loss (w.lastLoss); if all of them are finite and
+//     below 1e100, their sum over at most a few thousand workers cannot
+//     overflow, so Decide provably returns false and the next step's
+//     front half may run speculatively.
+//   - far from the execution cap: syncSupervisor may checkpoint and
+//     relaunch a supervisor approaching Config.MaxDuration, invoking on
+//     the platform — an ordering-visible effect. The tail only runs
+//     async when the supervisor's elapsed time at the barrier is
+//     strictly below the relaunch threshold, the exact complement of
+//     maybeRelaunchSup's trigger.
+//
+// When either guard fails the tail runs synchronously — byte-identical
+// to the pre-pipelining engine by construction.
+
+// tailOverlapHook, when non-nil (tests only), observes every tail
+// launched onto the resident goroutine — the instrumentation the alloc
+// guard uses to prove it measured the pipelined path.
+var tailOverlapHook func()
+
+// tailEligible reports whether the spec admits the overlapped
+// supervisor tail at all.
+func (e *engine) tailEligible(spec Spec) bool {
+	return spec.TargetLoss == 0 && spec.Patience == 0 && spec.MaxWallClock == 0 &&
+		e.tuner == nil && !e.tr.Enabled() && e.faults == nil && spec.Staleness <= 1
+}
+
+// tameLosses reports whether every active worker's just-published loss
+// is finite and small enough that the aggregate cannot become NaN/Inf.
+func tameLosses(active []*Worker) bool {
+	for _, w := range active {
+		if math.IsNaN(w.lastLoss) || math.Abs(w.lastLoss) > 1e100 {
+			return false
+		}
+	}
+	return true
+}
+
+// supFarFromLimit reports whether the supervisor, advanced to barrier,
+// would stay strictly clear of the relaunch threshold, so
+// syncSupervisor provably performs no platform operation.
+func (e *engine) supFarFromLimit(barrier time.Duration) bool {
+	cfg := e.cl.Platform.Config()
+	if cfg.MaxDuration <= 0 {
+		return true
+	}
+	return barrier-e.sup.StartedAt() < cfg.MaxDuration-e.relaunchHorizon()
+}
+
+// tailReq is one step's supervisor bookkeeping, captured at launch.
+type tailReq struct {
+	barrier time.Duration
+	step    int
+	pActive int
+	stepDur time.Duration
+	stopper *stopCheck
+}
+
+// tailRes is the tail's outcome, read at the join point.
+type tailRes struct {
+	stop, converged, diverged bool
+	err                       error
+}
+
+// supTail owns the persistent tail goroutine. All channel traffic is
+// by-value structs, so the steady-state overlap allocates nothing.
+type supTail struct {
+	e    *engine
+	req  chan tailReq
+	res  chan tailRes
+	live bool
+}
+
+// start spawns the resident goroutine. The goroutine captures the
+// channels by value: close() nils the struct fields, and the goroutine
+// may not have been scheduled yet when it does.
+func (t *supTail) start(e *engine) {
+	t.e = e
+	t.req = make(chan tailReq)
+	t.res = make(chan tailRes)
+	req, res := t.req, t.res
+	go func() {
+		for r := range req {
+			res <- e.runTail(r)
+		}
+	}()
+}
+
+// runTail executes one step's supervisor tail; called from the tail
+// goroutine when overlapped, or from the main loop when a dynamic
+// guard demands serial order.
+func (e *engine) runTail(r tailReq) tailRes {
+	if err := e.syncSupervisor(r.barrier, r.step); err != nil {
+		return tailRes{err: err}
+	}
+	raw, updateBytes, err := e.aggregateReports(r.pActive)
+	if err != nil {
+		return tailRes{err: err}
+	}
+	smoothed := e.recordStep(r.step, r.barrier, raw, updateBytes, r.pActive, r.stepDur)
+	var out tailRes
+	out.stop, out.converged, out.diverged = r.stopper.Decide(raw, smoothed, r.barrier)
+	return out
+}
+
+// launch hands a step's tail to the resident goroutine.
+func (t *supTail) launch(r tailReq) {
+	t.req <- r
+	t.live = true
+}
+
+// pending reports whether a launched tail has not been joined yet.
+func (t *supTail) pending() bool { return t.live }
+
+// join blocks until the in-flight tail finishes.
+func (t *supTail) join() tailRes {
+	r := <-t.res
+	t.live = false
+	return r
+}
+
+// close joins any in-flight tail and retires the goroutine. Safe to
+// call on a never-started supTail.
+func (t *supTail) close() {
+	if t.req == nil {
+		return
+	}
+	if t.live {
+		<-t.res
+		t.live = false
+	}
+	close(t.req)
+	t.req = nil
+}

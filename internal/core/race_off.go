@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in regular builds; see race_on.go.
+const raceEnabled = false

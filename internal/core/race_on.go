@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the binary was built with the race
+// detector; the parallel driver keeps a floor of two executors for
+// multi-worker groups in that case so cross-worker interleavings are
+// observed even on a single-CPU host.
+const raceEnabled = true

@@ -17,7 +17,7 @@ func TestPhaseJoinsAllErrors(t *testing.T) {
 	ws := []*Worker{{id: 0}, {id: 1}, {id: 2}}
 	err0 := errors.New("worker 0 exploded")
 	err2 := errors.New("worker 2 exploded")
-	for _, drv := range []driver{seqDriver{}, parDriver{}} {
+	for _, drv := range []driver{seqDriver{}, &parDriver{}} {
 		err := drv.Phase(ws, func(w *Worker) error {
 			switch w.id {
 			case 0:
@@ -36,6 +36,7 @@ func TestPhaseJoinsAllErrors(t *testing.T) {
 		if err := drv.Phase(ws, func(*Worker) error { return nil }); err != nil {
 			t.Fatalf("%s: clean phase returned %v", drv.Name(), err)
 		}
+		drv.Close()
 	}
 }
 

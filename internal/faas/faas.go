@@ -479,6 +479,61 @@ func (p *Platform) BilledFunctionSeconds() time.Duration {
 	return total
 }
 
+// WarmPool reports how many terminated-warm containers are available
+// for reuse by the next invocations.
+func (p *Platform) WarmPool() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.warmPool
+}
+
+// SetWarmPool overwrites the warm-container pool. The fleet scheduler
+// uses it to preset a forked platform with the shared pool's value at a
+// job's admission instant, and to write the pool's post-fold value back
+// onto the shared platform (DESIGN.md §15).
+func (p *Platform) SetWarmPool(n int) {
+	if n < 0 {
+		panic("faas: negative warm pool")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warmPool = n
+}
+
+// BilledRun is one terminated invocation on the platform's bill, in
+// termination order. Claimed runs were already metered by their caller
+// (TerminateInto / Reclaim); BillTo skips them.
+type BilledRun struct {
+	Name     string
+	Duration time.Duration
+	MemGiB   float64
+	Claimed  bool
+}
+
+// BilledRuns returns a copy of the platform's bill in termination order.
+func (p *Platform) BilledRuns() []BilledRun {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BilledRun, len(p.billed))
+	for i, run := range p.billed {
+		out[i] = BilledRun{Name: run.name, Duration: run.duration, MemGiB: run.memGiB, Claimed: run.claimed}
+	}
+	return out
+}
+
+// AbsorbBilled appends runs to the platform's bill, preserving their
+// order and claimed marks. The fleet scheduler folds a forked
+// platform's bill (with job labels relocated to their final namespace)
+// into the shared platform so BillTo and BilledFunctionSeconds see
+// exactly what a host-serial run would have recorded.
+func (p *Platform) AbsorbBilled(runs []BilledRun) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, run := range runs {
+		p.billed = append(p.billed, billedRun{name: run.Name, duration: run.Duration, memGiB: run.MemGiB, claimed: run.Claimed})
+	}
+}
+
 // CPUShare returns the fraction of one vCPU available to the instance:
 // memory-proportional, capped at 1.0 (IBM gives a 2 GB function the
 // equivalent of one vCPU, §5).

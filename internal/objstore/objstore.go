@@ -36,6 +36,11 @@ type Store struct {
 	mu      sync.Mutex
 	buckets map[string]map[string][]byte
 
+	// base, when non-nil, is a read-only lower layer: lookups that miss
+	// this store's own buckets fall through to base, while writes and
+	// deletes stay in this store (see ForkReadOnly).
+	base *Store
+
 	// Counters live in the unified registry under "obj.*".
 	cPuts, cGets, cDeletes, cLists, cBytesRead, cBytesWritten *trace.Counter
 }
@@ -70,6 +75,36 @@ func NewWithRegistry(link netmodel.Link, reg *trace.Registry) *Store {
 // Registry returns the metrics registry the store's counters live in.
 func (s *Store) Registry() *trace.Registry { return s.pipe.Registry() }
 
+// ForkReadOnly returns a new store layered over s: reads that miss the
+// fork's own buckets fall through to s, while every write and delete
+// lands in the fork, leaving s untouched. Counters and link charging go
+// to the fork's own pipeline under reg, so a forked execution meters
+// its object traffic privately. The fork holds no tracer.
+//
+// The fall-through is a snapshot view in the same sense as PeekView:
+// it is safe as long as s is not written concurrently with the fork's
+// reads, which is the sandbox contract — the shared store only holds
+// staged datasets while forked jobs run. Deletes only mask objects the
+// fork itself wrote; forked jobs never delete base objects (datasets
+// are read-only; scratch buckets are job-namespaced and live in the
+// fork).
+func (s *Store) ForkReadOnly(reg *trace.Registry) *Store {
+	f := NewWithRegistry(s.pipe.Link(), reg)
+	f.base = s
+	return f
+}
+
+// lookup resolves bucket/key through the overlay chain.
+func (s *Store) lookup(bucket, key string) ([]byte, bool) {
+	s.mu.Lock()
+	val, ok := s.buckets[bucket][key]
+	s.mu.Unlock()
+	if !ok && s.base != nil {
+		return s.base.lookup(bucket, key)
+	}
+	return val, ok
+}
+
 // SetTracer installs (or, with nil, removes) a tracer recording one
 // span per operation on the calling clock's track. Do not call
 // concurrently with operations; the engine installs it during job setup
@@ -96,14 +131,12 @@ func (s *Store) Put(clk *vclock.Clock, bucket, key string, val []byte) {
 
 // Get returns a copy of the object at bucket/key.
 func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
-	s.mu.Lock()
+	val, ok := s.lookup(bucket, key)
 	var cp []byte
-	val, ok := s.buckets[bucket][key]
 	if ok {
 		cp = make([]byte, len(val))
 		copy(cp, val)
 	}
-	s.mu.Unlock()
 	s.cGets.Inc()
 
 	if !ok {
@@ -124,9 +157,7 @@ func (s *Store) Get(clk *vclock.Clock, bucket, key string) ([]byte, error) {
 // a view is an immutable snapshot later writes never mutate. A missing
 // object or a range outside it costs one round trip and errors.
 func (s *Store) GetRangeView(clk *vclock.Clock, bucket, key string, off, length int) ([]byte, error) {
-	s.mu.Lock()
-	val, ok := s.buckets[bucket][key]
-	s.mu.Unlock()
+	val, ok := s.lookup(bucket, key)
 	s.cGets.Inc()
 
 	if !ok {
@@ -149,10 +180,7 @@ func (s *Store) GetRangeView(clk *vclock.Clock, bucket, key string, off, length 
 // tier's analogue of dataset.Cache's decode-once bookkeeping. The view
 // follows the same immutable-snapshot contract as GetRangeView.
 func (s *Store) PeekView(bucket, key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	val, ok := s.buckets[bucket][key]
-	return val, ok
+	return s.lookup(bucket, key)
 }
 
 // streamBandwidth returns the effective per-stream bytes/second of n
@@ -242,12 +270,9 @@ func (s *Store) GetMultiViewInto(clk *vclock.Clock, bucket string, keys []string
 		return out
 	}
 
-	s.mu.Lock()
-	b := s.buckets[bucket]
 	for i, key := range keys {
-		out[i] = b[key]
+		out[i], _ = s.lookup(bucket, key)
 	}
-	s.mu.Unlock()
 
 	start := clk.Now()
 	var max time.Duration
@@ -291,9 +316,7 @@ func resizeViews(out [][]byte, n int) [][]byte {
 func (s *Store) Size(clk *vclock.Clock, bucket, key string) (int, error) {
 	s.pipe.ChargeUntraced(clk, "head", bucket+"/"+key, s.pipe.RTT())
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	val, ok := s.buckets[bucket][key]
+	val, ok := s.lookup(bucket, key)
 	if !ok {
 		return 0, fmt.Errorf("head %s/%s: %w", bucket, key, ErrNotFound)
 	}
@@ -315,14 +338,20 @@ func (s *Store) Delete(clk *vclock.Clock, bucket, key string) {
 func (s *Store) List(clk *vclock.Clock, bucket, prefix string) []string {
 	s.pipe.ChargeUntraced(clk, "list", bucket+"/"+prefix, s.pipe.RTT())
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.cLists.Inc()
-	var out []string
-	for k := range s.buckets[bucket] {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, k)
+	seen := make(map[string]bool)
+	for layer := s; layer != nil; layer = layer.base {
+		layer.mu.Lock()
+		for k := range layer.buckets[bucket] {
+			if strings.HasPrefix(k, prefix) {
+				seen[k] = true
+			}
 		}
+		layer.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out

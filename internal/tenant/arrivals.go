@@ -9,9 +9,12 @@ import (
 	"mlless/internal/xrand"
 )
 
-// Template stamps out fresh copies of one workload. New must return a
-// job with fresh model and optimizer state every call (jobs mutate
-// both), referencing datasets already staged on the fleet's cluster.
+// Template stamps out fresh copies of one workload. New must return an
+// identical job every call — same spec, same initial model and
+// optimizer state, referencing datasets already staged on the fleet's
+// cluster. The host-parallel fleet engine leans on that identity:
+// arrivals stamped from one template are interchangeable executions, so
+// their results memoize by template key (see Arrival.TemplateKey).
 type Template struct {
 	// Name labels the workload in reports and events.
 	Name string
@@ -62,7 +65,7 @@ func GenerateArrivals(seed uint64, tenants []string, mix []Template, n int, mean
 			}
 			pick -= m.Weight
 		}
-		arrivals = append(arrivals, Arrival{At: at, Tenant: tenant, Workload: tpl.Name, Job: tpl.New()})
+		arrivals = append(arrivals, Arrival{At: at, Tenant: tenant, Workload: tpl.Name, Job: tpl.New(), TemplateKey: tpl.Name})
 	}
 	return arrivals, nil
 }

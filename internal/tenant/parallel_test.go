@@ -1,0 +1,176 @@
+package tenant
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"mlless/internal/cost"
+	"mlless/internal/trace"
+)
+
+// fleetArtifacts captures everything a fleet run leaves behind that the
+// host-parallel engine promises to keep byte- and bit-identical: the
+// control-plane log, the job records (IDs, milestones, losses, bills),
+// the report, the platform's billed function meter, the warm pool and
+// the service counters.
+type fleetArtifacts struct {
+	log      string
+	jobs     []JobRecord
+	tenants  []TenantReport
+	makespan time.Duration
+	jain     float64
+	funcTime time.Duration
+	funcUSD  float64
+	billed   time.Duration
+	warm     int
+	counters []trace.Metric
+	orphans  int
+}
+
+func runFleetArtifacts(t *testing.T, seed uint64, maxConcurrent, jobs, hostPar int, serial, stripTemplates bool) fleetArtifacts {
+	t.Helper()
+	cfg, arrivals := testFleet(t, seed, maxConcurrent, jobs)
+	if stripTemplates {
+		for i := range arrivals {
+			arrivals[i].TemplateKey = ""
+		}
+	}
+	cfg.Arrivals = arrivals
+	cfg.HostPar = hostPar
+	cfg.forceSerial = serial
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	if err := rep.WriteEvents(&log); err != nil {
+		t.Fatal(err)
+	}
+	var orphans cost.Meter
+	cfg.Cluster.Platform.BillTo(&orphans)
+	snap := cfg.Cluster.Metrics.Snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name })
+	return fleetArtifacts{
+		log:      log.String(),
+		jobs:     rep.Jobs,
+		tenants:  rep.Tenants,
+		makespan: rep.Makespan,
+		jain:     rep.Jain,
+		funcTime: rep.FunctionTime,
+		funcUSD:  rep.FunctionDollars,
+		billed:   cfg.Cluster.Platform.BilledFunctionSeconds(),
+		warm:     cfg.Cluster.Platform.WarmPool(),
+		counters: snap,
+		orphans:  len(orphans.Report().Components),
+	}
+}
+
+func diffArtifacts(t *testing.T, label string, want, got fleetArtifacts) {
+	t.Helper()
+	if want.log != got.log {
+		t.Fatalf("%s: event logs differ:\n--- baseline ---\n%s--- %s ---\n%s", label, want.log, label, got.log)
+	}
+	if !reflect.DeepEqual(want.jobs, got.jobs) {
+		t.Fatalf("%s: job records differ:\nbaseline: %+v\ngot:      %+v", label, want.jobs, got.jobs)
+	}
+	if !reflect.DeepEqual(want.tenants, got.tenants) {
+		t.Fatalf("%s: per-tenant bills differ:\nbaseline: %+v\ngot:      %+v", label, want.tenants, got.tenants)
+	}
+	if want.makespan != got.makespan || want.jain != got.jain ||
+		want.funcTime != got.funcTime || want.funcUSD != got.funcUSD {
+		t.Fatalf("%s: headline metrics differ: baseline {%v %v %v %v} got {%v %v %v %v}",
+			label, want.makespan, want.jain, want.funcTime, want.funcUSD,
+			got.makespan, got.jain, got.funcTime, got.funcUSD)
+	}
+	if want.billed != got.billed {
+		t.Fatalf("%s: platform billed %v, baseline %v", label, got.billed, want.billed)
+	}
+	if want.warm != got.warm {
+		t.Fatalf("%s: warm pool %d, baseline %d", label, got.warm, want.warm)
+	}
+	if !reflect.DeepEqual(want.counters, got.counters) {
+		t.Fatalf("%s: service counters differ:\nbaseline: %+v\ngot:      %+v", label, want.counters, got.counters)
+	}
+	if got.orphans != 0 {
+		t.Fatalf("%s: %d function runs never claimed by a job meter", label, got.orphans)
+	}
+}
+
+func TestFleetParallelMatchesSerialBaseline(t *testing.T) {
+	// The tentpole's determinism contract: the host-parallel engine must
+	// reproduce the legacy host-serial loop bit-for-bit — event log, job
+	// records, per-tenant bills, platform meter, warm pool and every
+	// service counter — at every host-parallelism level. Width 2 and 8
+	// run under -race in CI, so the executor's sharing discipline is
+	// checked as well as its outputs.
+	baseline := runFleetArtifacts(t, 42, 8, 9, 1, true, false)
+	if baseline.orphans != 0 {
+		t.Fatalf("serial baseline left %d unclaimed runs", baseline.orphans)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		got := runFleetArtifacts(t, 42, 8, 9, par, false, false)
+		diffArtifacts(t, "host-par "+string(rune('0'+par)), baseline, got)
+	}
+}
+
+func TestFleetParallelMatchesSerialWithoutTemplates(t *testing.T) {
+	// Hand-built arrivals carry no TemplateKey, so nothing memoizes and
+	// executions happen one certain frontier at a time — the engine must
+	// still match the serial loop exactly.
+	baseline := runFleetArtifacts(t, 11, 6, 6, 1, true, true)
+	got := runFleetArtifacts(t, 11, 6, 6, 4, false, true)
+	diffArtifacts(t, "no-template host-par 4", baseline, got)
+}
+
+func TestFleetParallelContended(t *testing.T) {
+	// Heavy contention (cap 4 fits one job) drives the queue, fair-share
+	// and scale-in paths through the pass/estimate machinery; the
+	// parallel engine must still match the serial loop exactly.
+	baseline := runFleetArtifacts(t, 11, 4, 8, 1, true, false)
+	got := runFleetArtifacts(t, 11, 4, 8, 4, false, false)
+	diffArtifacts(t, "contended host-par 4", baseline, got)
+}
+
+func TestReleaseOrderIsStateNotInsertion(t *testing.T) {
+	// Releases due at one instant must commit in (tenant, job, seq)
+	// order however they were inserted — the documented total order that
+	// keeps same-instant free/re-acquire resolution a pure function of
+	// fleet state.
+	at := 3 * time.Second
+	rs := []release{
+		{at: at, tenant: "t2", job: "t2/job5", n: 1, seq: 9},
+		{at: at, tenant: "t1", job: "t1/job7", n: 2, seq: 8},
+		{at: at, tenant: "t1", job: "t1/job2", n: 1, seq: 7},
+		{at: at - time.Second, tenant: "t9", job: "t9/job9", n: 1, seq: 6},
+		{at: at, tenant: "t1", job: "t1/job2", n: 3, seq: 5},
+	}
+	sort.SliceStable(rs, releaseLess(rs))
+	want := []struct {
+		job string
+		seq int
+	}{
+		{"t9/job9", 6}, {"t1/job2", 5}, {"t1/job2", 7}, {"t1/job7", 8}, {"t2/job5", 9},
+	}
+	for i, w := range want {
+		if rs[i].job != w.job || rs[i].seq != w.seq {
+			t.Fatalf("release %d is %s/seq=%d, want %s/seq=%d", i, rs[i].job, rs[i].seq, w.job, w.seq)
+		}
+	}
+}
+
+func TestFleetParallelHandlesEmptyAndError(t *testing.T) {
+	// Zero arrivals take the parallel path trivially; a fleet whose
+	// queue can never drain surfaces ErrNeverFits from the pass guard.
+	cfg, _ := testFleet(t, 5, 8, 2)
+	cfg.Arrivals = nil
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 0 || len(rep.Events) != 0 {
+		t.Fatalf("empty fleet produced %d jobs, %d events", len(rep.Jobs), len(rep.Events))
+	}
+}

@@ -7,14 +7,22 @@
 // The fleet is a discrete-event simulation in the same virtual time the
 // engine runs in. Jobs arrive on a seeded schedule, queue until their
 // activation demand (workers + supervisor) fits under both caps, and
-// then execute host-serially via core.Run with Spec.StartAt set to the
-// admission instant — barriers are absolute virtual times, so each
-// job's trace is exactly the trace it would produce alone, shifted.
-// While a job occupies its virtual window [admit, complete), its demand
-// is held as a faas reservation, which the platform counts against both
-// caps for every later admission decision; scale-in evictions release
-// slots early, at the eviction's virtual time. Everything is a pure
-// function of the configuration, so fleets are byte-reproducible.
+// then execute with Spec.StartAt set to the admission instant —
+// barriers are absolute virtual times, so each job's trace is exactly
+// the trace it would produce alone, shifted. While a job occupies its
+// virtual window [admit, complete), its demand is held as a faas
+// reservation, which the platform counts against both caps for every
+// later admission decision; scale-in evictions release slots early, at
+// the eviction's virtual time. Everything is a pure function of the
+// configuration, so fleets are byte-reproducible.
+//
+// Jobs whose virtual windows overlap train concurrently on host
+// goroutines (Config.HostPar): a fixed-point decision pass replays the
+// admission loop over pure ledgers while sandboxed executions fill in
+// outcomes, so the report, event log and bills stay byte-identical to
+// the legacy host-serial loop at every parallelism level (see
+// parallel.go). Fleets with traced jobs, fault injection or collective
+// exchanges keep the serial loop.
 package tenant
 
 import (
@@ -65,9 +73,20 @@ type Arrival struct {
 	Tenant string
 	// Workload labels the job for reports ("lr-criteo", "pmf-1m", ...).
 	Workload string
-	// Job is the training job to run, with fresh model and optimizer
-	// state (jobs mutate both).
+	// Job is the training job to run. Model and Optimizer are prototypes
+	// (the engine clones them per worker), so the Job itself is never
+	// mutated and one arrival can be executed more than once.
 	Job core.Job
+	// TemplateKey, when non-empty, asserts that this arrival's Job is a
+	// fresh stamp of a shared workload template: any two arrivals with
+	// the same key train identical models on identical data with an
+	// identical spec. The host-parallel fleet engine relies on this to
+	// memoize executions — one simulated run per (template, shrink,
+	// warm-pool) combination, translated to each admission's start time
+	// and namespace. Leave it empty for hand-built arrivals; the fleet
+	// then executes each one individually. GenerateArrivals stamps it
+	// with the template's Name.
+	TemplateKey string
 }
 
 // Config describes a fleet run.
@@ -84,6 +103,19 @@ type Config struct {
 	// NoScaleIn disables contention-triggered shrink requests: jobs
 	// keep their full width even while others wait.
 	NoScaleIn bool
+	// HostPar bounds the host worker pool the fleet engine executes
+	// admitted jobs on: jobs whose virtual windows overlap train
+	// concurrently on real cores, and their effects are folded back in
+	// virtual-time order, so the event log, report and bills are
+	// byte-identical for every value. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 executes jobs one at a time.
+	HostPar int
+
+	// forceSerial routes the fleet through the legacy host-serial loop
+	// (every job executed inline on the shared substrates) regardless of
+	// sandboxability. In-package differential tests set it to pin the
+	// parallel engine against the pre-parallelism baseline.
+	forceSerial bool
 }
 
 // Event is one line of the fleet's control-plane log. The log is the
@@ -123,10 +155,15 @@ type waiting struct {
 }
 
 // release frees n reserved slots of a tenant at a virtual instant —
-// either a scale-in eviction (n=1) or a job completion.
+// either a scale-in eviction (n=1) or a job completion. job is the
+// releasing job's namespace ID: releases due at the same instant are
+// applied in (tenant, job, seq) order, a total order over fleet state
+// rather than insertion history, so a slot freed and re-acquired at one
+// instant resolves identically however the schedule was produced.
 type release struct {
 	at     time.Duration
 	tenant string
+	job    string
 	n      int
 	seq    int
 }
@@ -204,7 +241,17 @@ func newFleet(cfg Config) (*fleet, error) {
 func (f *fleet) run() (*Report, error) {
 	arrivals := append([]Arrival(nil), f.cfg.Arrivals...)
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].At < arrivals[j].At })
+	if !f.cfg.forceSerial && sandboxable(arrivals) {
+		return f.runParallel(arrivals)
+	}
+	return f.runSerial(arrivals)
+}
 
+// runSerial is the legacy host-serial loop: every admitted job executes
+// inline on the shared substrates at its admission instant. It remains
+// the path for fleets the sandboxed engine cannot take (parallel.go)
+// and the baseline the differential tests pin runParallel against.
+func (f *fleet) runSerial(arrivals []Arrival) (*Report, error) {
 	ai := 0
 	for {
 		// Ingest every submission due by now, then apply due releases,
@@ -264,15 +311,11 @@ func (f *fleet) nextInstant(arrivals []Arrival, ai int) (time.Duration, bool) {
 }
 
 // applyReleases returns every reservation due by now to the platform,
-// oldest first (ties in creation order, so eviction releases of one job
-// stay ordered).
+// oldest first; same-instant ties resolve by (tenant, job, seq), so
+// eviction releases of one job stay ordered and the instant's net
+// effect is a pure function of fleet state.
 func (f *fleet) applyReleases() {
-	sort.SliceStable(f.releases, func(i, j int) bool {
-		if f.releases[i].at != f.releases[j].at {
-			return f.releases[i].at < f.releases[j].at
-		}
-		return f.releases[i].seq < f.releases[j].seq
-	})
+	sort.SliceStable(f.releases, releaseLess(f.releases))
 	n := 0
 	for _, r := range f.releases {
 		if r.at > f.now {
@@ -379,11 +422,11 @@ func (f *fleet) admit(w *waiting) error {
 	}
 	complete := f.now + res.ExecTime
 	for _, rm := range res.Removals {
-		f.release(rm.Time, w.arr.Tenant, 1)
+		f.release(rm.Time, w.arr.Tenant, res.ID, 1)
 		f.event(rm.Time, "scale-in", w.arr.Tenant, res.ID,
 			fmt.Sprintf("worker=%d left=%d", rm.Worker, rm.WorkersLeft))
 	}
-	f.release(complete, w.arr.Tenant, w.demand-len(res.Removals))
+	f.release(complete, w.arr.Tenant, res.ID, w.demand-len(res.Removals))
 	f.event(complete, "complete", w.arr.Tenant, res.ID,
 		fmt.Sprintf("workload=%s steps=%d converged=%v loss=%.6f", w.arr.Workload, res.Steps, res.Converged, res.FinalLoss))
 
@@ -400,11 +443,28 @@ func (f *fleet) admit(w *waiting) error {
 	return nil
 }
 
-func (f *fleet) release(at time.Duration, tenant string, n int) {
+// releaseLess orders releases by (at, tenant, job, seq) — the
+// documented commit order for reservation returns.
+func releaseLess(rs []release) func(i, j int) bool {
+	return func(i, j int) bool {
+		if rs[i].at != rs[j].at {
+			return rs[i].at < rs[j].at
+		}
+		if rs[i].tenant != rs[j].tenant {
+			return rs[i].tenant < rs[j].tenant
+		}
+		if rs[i].job != rs[j].job {
+			return rs[i].job < rs[j].job
+		}
+		return rs[i].seq < rs[j].seq
+	}
+}
+
+func (f *fleet) release(at time.Duration, tenant, job string, n int) {
 	if n <= 0 {
 		return
 	}
-	f.releases = append(f.releases, release{at: at, tenant: tenant, n: n, seq: f.seq})
+	f.releases = append(f.releases, release{at: at, tenant: tenant, job: job, n: n, seq: f.seq})
 	f.seq++
 }
 
